@@ -1,0 +1,51 @@
+"""Ablations of DistWS's deque design (DESIGN.md §5, items 1-2).
+
+- **FIFO shared deque**: the paper argues the shared deque must serve
+  the *oldest* task so thieves get the coarsest work ("Older tasks
+  potentially contain the largest amount of work in the task graph").
+  The ablation flips it to LIFO and checks DistWS loses (or at best
+  ties) on a coarse recursive workload.
+- **Chunked distributed steals**: chunk=2 vs chunk=1 on an irregular
+  app (the §V-B3 design choice; also exercised by the chunk study).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.harness.experiment import run_cell
+
+
+@pytest.mark.benchmark(group="ablation-deques")
+def test_shared_deque_fifo_vs_lifo(benchmark):
+    def run():
+        rows = {}
+        for fifo in (True, False):
+            cell = run_cell("dmg", "DistWS", sched_seeds=(1, 2, 3),
+                            sched_kwargs={"shared_fifo": fifo})
+            rows[fifo] = cell.mean_makespan_ms
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nFIFO shared deque: {rows[True]:.2f} ms, "
+          f"LIFO ablation: {rows[False]:.2f} ms")
+    # FIFO (steal-the-oldest) should not lose to LIFO by more than noise.
+    assert rows[True] <= rows[False] * 1.08
+
+
+@pytest.mark.benchmark(group="ablation-deques")
+def test_chunked_steals_help_peers(benchmark):
+    def run():
+        rows = {}
+        for chunk in (1, 2):
+            cell = run_cell("turing", "DistWS", sched_seeds=(1, 2),
+                            sched_kwargs={"remote_chunk_size": chunk})
+            rows[chunk] = cell.mean_makespan_ms
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nchunk=1: {rows[1]:.2f} ms, chunk=2: {rows[2]:.2f} ms")
+    # Chunk 2 within noise of (or better than) chunk 1.
+    assert rows[2] <= rows[1] * 1.10

@@ -1,0 +1,58 @@
+"""Topology ablation (paper §I, footnote 2).
+
+"The victim-node selection policy has greater impact if the cluster is
+not fully connected. For instance, in a cluster with ring topology it is
+a common practice to chose nearest, or adjacent nodes first."
+
+The ablation runs the same workload on a fully connected cluster and on
+a ring: on the ring every cross-node hop multiplies transfer latency, so
+the *same* scheduler pays more for distant steals — stealing still wins,
+but by less.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.harness.experiment import run_cell
+
+
+def spec(topology: str) -> ClusterSpec:
+    return ClusterSpec(n_places=16, workers_per_place=8, max_threads=12,
+                       topology=topology)
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_ring_topology_taxes_distributed_steals(benchmark):
+    def run():
+        out = {}
+        for topo in ("full", "ring"):
+            cell = run_cell("turing", "DistWS", spec(topo),
+                            sched_seeds=(1, 2))
+            out[topo] = cell.mean_makespan_ms
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfull: {out['full']:.2f} ms, ring: {out['ring']:.2f} ms")
+    # Multi-hop transfers make the ring no faster than full connectivity.
+    assert out["ring"] >= out["full"] * 0.98
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_nearest_victims_help_on_ring(benchmark):
+    """Footnote 2: on a non-fully-connected cluster, nearest-first victim
+    selection is the sensible policy — it must not lose to random."""
+    def run():
+        out = {}
+        for order in ("random", "nearest"):
+            cell = run_cell("turing", "DistWS", spec("ring"),
+                            sched_seeds=(1, 2),
+                            sched_kwargs={"victim_order": order})
+            out[order] = cell.mean_makespan_ms
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nring random: {out['random']:.2f} ms, "
+          f"ring nearest: {out['nearest']:.2f} ms")
+    assert out["nearest"] <= out["random"] * 1.05

@@ -1,0 +1,43 @@
+"""§VIII.2 — the steal-chunk-size study and the micro-app granularity study.
+
+Paper shape:
+
+- "good performance is achieved ... when performing distributed stealing
+  in chunk sizes of 2": chunk 2 is at (or within noise of) the sweet
+  spot, and very large chunks over-steal;
+- the five fine-grained micro applications (0.005-0.93 ms tasks) do NOT
+  benefit from DistWS: "The DistWS algorithm performed worse on these
+  smaller applications".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.paper import chunk_study, granularity_study
+
+
+@pytest.mark.benchmark(group="chunk")
+def test_chunk_size_study(benchmark):
+    out = benchmark.pedantic(
+        chunk_study, kwargs=dict(chunks=(1, 2, 4, 8)),
+        rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    makespans = {row[0]: row[1] for row in out.rows}
+    best = min(makespans.values())
+    # Chunk 2 is within 10% of the best chunk size.
+    assert makespans[2] <= best * 1.10, makespans
+    # Over-stealing in huge chunks does not beat chunk 2 meaningfully.
+    assert makespans[8] >= makespans[2] * 0.95, makespans
+
+
+@pytest.mark.benchmark(group="granularity")
+def test_micro_app_granularity_study(benchmark):
+    out = benchmark.pedantic(granularity_study, rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    # Aggregate: DistWS does not achieve a meaningful gain on the
+    # fine-grained apps (it performs the same or worse).
+    gains = [row[4] for row in out.rows]
+    assert max(gains) < 10.0, f"micro apps should not benefit: {gains}"
+    import statistics
+    assert statistics.fmean(gains) < 5.0, gains

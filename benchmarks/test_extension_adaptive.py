@@ -1,0 +1,50 @@
+"""Extension benchmark: annotation-free adaptive classification.
+
+The paper leaves runtime-derived locality classification as an unexplored
+alternative to annotations (§II).  AdaptiveDistWS classifies tasks from
+granularity, transfer economy, and result affinity alone.  Expected
+shape: the adaptive scheduler recovers a solid share of annotated
+DistWS's advantage over X10WS — and annotations never *hurt* (the
+programmer knows algorithmic intent the classifier cannot see).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.harness.experiment import run_cell
+
+APPS = ("turing", "dmg", "kmeans")
+
+
+@pytest.mark.benchmark(group="extension-adaptive")
+def test_adaptive_classification_recovers_gains(benchmark):
+    def run():
+        rows = {}
+        for app in APPS:
+            per = {}
+            for sched in ("X10WS", "DistWS", "AdaptiveDistWS"):
+                cell = run_cell(app, sched, sched_seeds=(1, 2))
+                per[sched] = cell.mean_makespan_ms
+            rows[app] = per
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    recovery = []
+    for app, per in rows.items():
+        gain_annotated = per["X10WS"] / per["DistWS"] - 1
+        gain_adaptive = per["X10WS"] / per["AdaptiveDistWS"] - 1
+        print(f"\n{app}: X10WS {per['X10WS']:.1f} ms, DistWS "
+              f"{per['DistWS']:.1f} ms ({100 * gain_annotated:+.1f}%), "
+              f"Adaptive {per['AdaptiveDistWS']:.1f} ms "
+              f"({100 * gain_adaptive:+.1f}%)")
+        if gain_annotated > 0.02:
+            recovery.append(gain_adaptive / gain_annotated)
+        # The adaptive scheduler must never badly degrade the baseline.
+        assert per["AdaptiveDistWS"] <= per["X10WS"] * 1.10, app
+    # On the apps where annotations help, the classifier recovers a
+    # meaningful share of the benefit without any programmer input.
+    assert recovery, "expected at least one app with annotated gains"
+    assert statistics.fmean(recovery) > 0.35, recovery

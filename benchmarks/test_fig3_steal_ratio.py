@@ -1,0 +1,29 @@
+"""Fig. 3 — steals-to-task ratio per benchmark (DistWS, 128 workers).
+
+Paper shape: the ratios are small (steals are rare events relative to
+task counts) yet the absolute number of steals is significant, which is
+what makes the benchmarks suitable for evaluating the algorithm.  Our
+instances are ~10^3-10^4x smaller than the paper's, so the ratios are
+proportionally larger (documented in EXPERIMENTS.md); the qualitative
+claim checked here is "steals happen, and are a small minority of tasks".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.paper import fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_steal_ratio(benchmark):
+    out = benchmark.pedantic(fig3, rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    for app, steals, remote, tasks, ratio, remote_ratio in out.rows:
+        # Steals occur for every irregular app...
+        assert steals > 0, app
+        # ...every app executes more tasks than it steals...
+        assert ratio < 1.0, f"{app}: steal ratio {ratio} >= 1"
+        # ...and the expensive distributed steals are a small minority.
+        assert remote_ratio < 0.25, \
+            f"{app}: remote steals {remote_ratio:.2f} of tasks"

@@ -1,0 +1,23 @@
+"""Fig. 4 — sequential execution time per benchmark.
+
+Paper shape: the applications span a wide range of sequential runtimes,
+and a single worker under the parallel runtime is close to (but not
+faster than) the pure sequential baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.paper import fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sequential_time(benchmark):
+    out = benchmark.pedantic(fig4, rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    for app, seq_ms, one_worker_ms in out.rows:
+        assert seq_ms > 0
+        # Runtime overhead exists but is bounded (< 25% on one worker).
+        assert one_worker_ms >= seq_ms * 0.999, app
+        assert one_worker_ms <= seq_ms * 1.25, app

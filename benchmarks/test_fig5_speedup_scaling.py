@@ -1,0 +1,56 @@
+"""Fig. 5 — speedup vs worker count (1..128), X10WS vs DistWS.
+
+Paper shape:
+
+- on a single node (<= 8 workers) DistWS does not beat X10WS — there are
+  no cross-node steals to win, only extra deque bookkeeping ("execution
+  over a single node results in slowdown in comparison to X10WS");
+- with multiple nodes DistWS pulls ahead, and the margin grows with
+  worker count ("DistWS exhibits larger impact for higher number of
+  workers"), reaching 12-31% at high worker counts for the best apps.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.harness.paper import fig5
+
+WORKER_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_speedup_scaling(benchmark):
+    out = benchmark.pedantic(
+        fig5, kwargs=dict(worker_counts=WORKER_COUNTS,
+                          sched_seeds=(1, 2)),
+        rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    series = out.extra["series"]
+
+    single_node_gaps = []
+    top_gains = []
+    for app, data in series.items():
+        x10 = data["X10WS"]
+        dws = data["DistWS"]
+        # Speedups grow with workers for both schedulers overall.
+        assert dws[-1] > dws[0], app
+        assert x10[-1] > x10[0], app
+        # Single node: DistWS within a few percent of X10WS either way.
+        for i, w in enumerate(WORKER_COUNTS):
+            if w <= 8:
+                single_node_gaps.append(dws[i] / x10[i])
+        # At 128 workers DistWS >= X10WS (the no-degradation claim).
+        top_gains.append(dws[-1] / x10[-1])
+
+    # Single-node parity: geometric mean within 10%.
+    gm = statistics.geometric_mean(single_node_gaps)
+    assert 0.90 < gm < 1.10, f"single-node parity violated: {gm:.3f}"
+    # Multi-node benefit: mean DistWS gain at 128 workers in the paper's
+    # direction, with at least one app in the 12-31% headline band.
+    mean_gain = statistics.geometric_mean(top_gains)
+    assert mean_gain > 1.02, f"no aggregate DistWS benefit: {mean_gain:.3f}"
+    assert max(top_gains) > 1.12, \
+        f"no app reaches the paper's headline band: {max(top_gains):.3f}"

@@ -1,0 +1,40 @@
+"""Fig. 6 — is the sensitive/flexible distinction really necessary?
+
+Paper shape: at 128 workers DistWS beats the X10WS baseline on aggregate
+and never degrades it meaningfully, while the non-selective DistWS-NS
+gives back part (or all) of the gain — stealing the wrong tasks costs
+cache locality, data movement, and copy-backs.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.harness.paper import fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_selectivity(benchmark, matrix_cells):
+    out = benchmark.pedantic(
+        fig6, kwargs=dict(cells=matrix_cells), rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    gains_vs_x10 = []
+    gains_vs_ns = []
+    for app, x10, ns, dw in out.rows:
+        gains_vs_x10.append(dw / x10)
+        gains_vs_ns.append(dw / ns)
+        # No-degradation claim, per app, with a small tolerance.
+        assert dw / x10 > 0.93, f"{app}: DistWS degrades X10WS badly"
+    gm_x10 = statistics.geometric_mean(gains_vs_x10)
+    gm_ns = statistics.geometric_mean(gains_vs_ns)
+    assert gm_x10 > 1.05, \
+        f"DistWS should beat X10WS on aggregate, got {gm_x10:.3f}"
+    assert gm_ns > 0.98, \
+        f"DistWS should not lose to DistWS-NS on aggregate: {gm_ns:.3f}"
+    # On the apps with heavy sensitive tasks the selectivity must pay.
+    mixed = {row[0]: row for row in out.rows}
+    for app in ("turing", "kmeans"):
+        _, x10, ns, dw = mixed[app]
+        assert dw >= ns * 0.97, f"{app}: NS should not beat DistWS"

@@ -1,0 +1,33 @@
+"""Fig. 7 — per-node CPU utilization.
+
+Paper shape: X10WS shows "highly disproportionate node utilization"
+(~35% average disparity); with DistWS the variance drops sharply (~13%)
+and the mean utilization is the highest of the three schedulers.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.harness.paper import fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_utilization(benchmark, matrix_cells):
+    out = benchmark.pedantic(
+        fig7, kwargs=dict(cells=matrix_cells), rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    spread = {(r[0], r[1]): r[3] for r in out.rows}
+    mean = {(r[0], r[1]): r[2] for r in out.rows}
+    x10_spreads = [spread[(a, "X10WS")] for a in PAPER_APPS]
+    dw_spreads = [spread[(a, "DistWS")] for a in PAPER_APPS]
+    # Utilization disparity collapses under DistWS.
+    assert statistics.fmean(dw_spreads) < statistics.fmean(x10_spreads), \
+        "DistWS should even out node utilization"
+    # And DistWS's mean utilization is at least X10WS's.
+    x10_mean = statistics.fmean(mean[(a, "X10WS")] for a in PAPER_APPS)
+    dw_mean = statistics.fmean(mean[(a, "DistWS")] for a in PAPER_APPS)
+    assert dw_mean >= x10_mean * 0.98

@@ -1,0 +1,29 @@
+"""Table I — task granularities.
+
+Paper values (ms): qsort 1.1, turing 1.86, kmeans 383, agglom 529,
+DMG 732, DMR 899, nbody 623.  Our instances compress the range (see
+EXPERIMENTS.md), so the reproduced claim is the *two-tier structure*:
+Quicksort and Turing ring are the fine-grained apps; the other five are
+substantially coarser.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.paper import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_granularity(benchmark):
+    out = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    gran = {row[0]: row[1] for row in out.rows}
+    fine = [gran["quicksort"], gran["turing"]]
+    coarse = [gran["kmeans"], gran["agglom"], gran["dmg"], gran["dmr"],
+              gran["nbody"]]
+    assert min(coarse) > max(fine) * 0.8, (
+        "coarse apps should not be finer-grained than qsort/turing")
+    # All tasks are sub-second but non-trivial.
+    for app, g in gran.items():
+        assert 0.01 < g < 1_000, app

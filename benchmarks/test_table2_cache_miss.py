@@ -1,0 +1,36 @@
+"""Table II — L1 data-cache miss rates at 128 workers.
+
+Paper shape: "the L1 data cache miss rates are higher for DistWS-NS
+compared to that of DistWS" — the non-selective scheduler's random
+steals drag foreign working sets through the caches.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.harness.paper import table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_cache_miss(benchmark, matrix_cells):
+    out = benchmark.pedantic(
+        table2, kwargs=dict(cells=matrix_cells), rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    rows = {r[0]: r for r in out.rows}
+    ns_over_dw = []
+    for app, x10, ns, dw in out.rows:
+        assert 0 <= x10 <= 100 and 0 <= ns <= 100 and 0 <= dw <= 100
+        ns_over_dw.append(ns / max(dw, 1e-9))
+    # Aggregate: DistWS-NS misses at least as much as DistWS (the paper's
+    # headline Table II direction), on geometric mean across the suite.
+    gm = statistics.geometric_mean(ns_over_dw)
+    assert gm > 0.98, f"NS should out-miss DistWS, got ratio {gm:.3f}"
+    # Turing ring has the strongest per-place working-set reuse (the same
+    # cells every iteration): the random steals' cache pollution must
+    # show clearly there.
+    _, _x10, ns, dw = rows["turing"]
+    assert ns > dw * 1.05, "turing: NS miss rate should exceed DistWS"

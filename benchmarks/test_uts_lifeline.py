@@ -1,0 +1,27 @@
+"""§X — UTS under randomized stealing, DistWS, and lifelines.
+
+Paper shape: "When we disable the lifeline-based load balancing, DistWS
+achieves a 9% speedup over the randomized stealing approach" and "DistWS
+does not incur any overhead on the UTS problem" (all tasks flexible).
+The full lifeline scheduler wins in the paper; our simplified lifeline
+lands within a few percent of DistWS (EXPERIMENTS.md notes the gap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.paper import uts_study
+
+
+@pytest.mark.benchmark(group="uts")
+def test_uts_steal_strategy_comparison(benchmark):
+    out = benchmark.pedantic(uts_study, rounds=1, iterations=1)
+    print("\n" + out.rendered)
+    makespans = {row[0]: row[1] for row in out.rows}
+    # DistWS beats blind randomized stealing (paper: ~+9%).
+    gain = makespans["RandomWS"] / makespans["DistWS"] - 1
+    assert gain > 0.03, f"DistWS vs RandomWS gain too small: {gain:.3f}"
+    # The lifeline scheduler is competitive with DistWS on UTS.
+    assert makespans["Lifeline"] <= makespans["RandomWS"], \
+        "lifelines should repair random stealing's misses"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+Runs the full experiment registry (Figs. 3-7, Tables I-III, the §VIII.2
+chunk/granularity studies, and the §X UTS comparison) at benchmark scale
+and prints each rendered artifact.  Expect ~15-30 minutes on a laptop.
+
+Run:  python examples/reproduce_paper.py [test|bench] [artifact ...]
+
+With ``test`` the suite uses small instances (a couple of minutes; the
+shapes are weaker at that scale).  Naming artifacts (e.g. ``fig6 table3``)
+runs just those.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import EXPERIMENTS
+
+
+def main(argv) -> None:
+    scale = "bench"
+    wanted = []
+    for arg in argv:
+        if arg in ("test", "bench"):
+            scale = arg
+        elif arg in EXPERIMENTS:
+            wanted.append(arg)
+        else:
+            raise SystemExit(
+                f"unknown argument {arg!r}; artifacts: "
+                f"{', '.join(EXPERIMENTS)}")
+    wanted = wanted or list(EXPERIMENTS)
+
+    for name in wanted:
+        fn = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        print(f"\n{'#' * 70}\n# {name}  (running...)\n{'#' * 70}",
+              flush=True)
+        out = fn(scale=scale)
+        wall = time.perf_counter() - t0
+        print(out.rendered, flush=True)
+        print(f"\n[{name} done in {wall:.1f}s]", flush=True)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

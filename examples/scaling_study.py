@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Fig. 5-style scaling study for one application.
+
+Sweeps the cluster from 1 to 128 workers (1 place of k workers up to 16
+places of 8, exactly the paper's x-axis) and prints the speedup of
+X10WS vs DistWS over the sequential baseline, showing the paper's
+crossover: parity (or a slight DistWS penalty) within one node, a
+growing DistWS advantage beyond it.
+
+Run:  python examples/scaling_study.py [app] [scale]
+      app   - quicksort | turing | kmeans | agglom | dmg | dmr | nbody
+      scale - test (fast, default) | bench (paper-scale inputs)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import worker_sweep
+from repro.harness import run_cell, series_lines
+
+
+def main(app: str = "dmg", scale: str = "test") -> None:
+    counts = (1, 2, 4, 8, 16, 32, 64, 128)
+    series = {"X10WS": [], "DistWS": []}
+    for spec in worker_sweep(counts):
+        for sched in series:
+            cell = run_cell(app, sched, spec, sched_seeds=(1,),
+                            scale=scale)
+            series[sched].append(cell.mean_speedup)
+        w = spec.total_workers
+        gain = series["DistWS"][-1] / series["X10WS"][-1] - 1
+        print(f"  {w:3d} workers: X10WS {series['X10WS'][-1]:6.1f}x   "
+              f"DistWS {series['DistWS'][-1]:6.1f}x   "
+              f"({100 * gain:+.1f}%)", flush=True)
+    print()
+    print(series_lines(counts, series,
+                       title=f"{app}: speedup vs worker count"))
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:3] or ["dmg"]))

@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+The offline environment lacks the `wheel` package, which PEP 660 editable
+installs require; with this shim pip falls back to `setup.py develop`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

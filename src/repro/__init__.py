@@ -1,0 +1,87 @@
+"""repro — reproduction of Paudel, Tardieu & Amaral, ICPP 2013.
+
+*On the Merits of Distributed Work-Stealing on Selective Locality-Aware
+Tasks.*
+
+The package provides:
+
+- a deterministic discrete-event cluster simulator (:mod:`repro.sim`,
+  :mod:`repro.cluster`);
+- an X10-style APGAS tasking runtime over it (:mod:`repro.runtime`,
+  :mod:`repro.apgas`);
+- the paper's **DistWS** scheduler and its comparators
+  (:mod:`repro.sched`);
+- the full evaluation application suite (:mod:`repro.apps`);
+- a harness regenerating every table and figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import DistWS, SimRuntime, paper_cluster
+    from repro.apps import QuicksortApp
+
+    app = QuicksortApp(n=50_000)
+    stats = app.run(SimRuntime(paper_cluster(), DistWS(), seed=1))
+    print(stats.summary())
+"""
+
+from repro.apgas import Apgas, DistArray, PlaceLocalHandle, any_place_task
+from repro.cluster import (
+    DEFAULT_COST_MODEL,
+    ClusterSpec,
+    CostModel,
+    paper_cluster,
+    worker_sweep,
+)
+from repro.errors import (
+    AppError,
+    ConfigError,
+    DeadlockError,
+    PlacementError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+)
+from repro.runtime import FLEXIBLE, SENSITIVE, RunStats, SimRuntime, Task
+from repro.sched import (
+    SCHEDULERS,
+    DistWS,
+    DistWSNS,
+    LifelineWS,
+    RandomWS,
+    X10WS,
+    make_scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Apgas",
+    "AppError",
+    "ClusterSpec",
+    "ConfigError",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DeadlockError",
+    "DistArray",
+    "DistWS",
+    "DistWSNS",
+    "FLEXIBLE",
+    "LifelineWS",
+    "PlaceLocalHandle",
+    "PlacementError",
+    "RandomWS",
+    "ReproError",
+    "RunStats",
+    "SCHEDULERS",
+    "SENSITIVE",
+    "SchedulerError",
+    "SimRuntime",
+    "SimulationError",
+    "Task",
+    "X10WS",
+    "any_place_task",
+    "make_scheduler",
+    "paper_cluster",
+    "worker_sweep",
+    "__version__",
+]

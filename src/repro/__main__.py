@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``run`` — one (application, scheduler, cluster) simulation with a
+  metrics summary;
+- ``reproduce`` — regenerate paper artifacts (tables/figures) by name;
+- ``list`` — what's available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import SCHEDULERS, ClusterSpec, SimRuntime, make_scheduler
+from repro.apps import APP_REGISTRY, make_app
+from repro.harness import EXPERIMENTS
+from repro.harness.tables import render_table
+
+
+def _cmd_list(_args) -> int:
+    print("applications:", ", ".join(sorted(APP_REGISTRY)))
+    print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
+    print("artifacts:   ", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers,
+                       max_threads=args.workers + 4)
+    app = make_app(args.app, scale=args.scale, seed=args.seed)
+    sched = make_scheduler(args.scheduler)
+    rt = SimRuntime(spec, sched, seed=args.sched_seed)
+    stats = app.run(rt, validate=not args.no_validate)
+    rows = [[k, v] for k, v in stats.summary().items()]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.app} under {args.scheduler} on "
+                             f"{spec.n_places}x{spec.workers_per_place}"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis import (
+        TraceRecorder,
+        critical_path,
+        place_timeline,
+        steal_flow,
+        trace_to_json,
+    )
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers,
+                       max_threads=args.workers + 4)
+    rt = SimRuntime(spec, make_scheduler(args.scheduler),
+                    seed=args.sched_seed)
+    recorder = TraceRecorder(rt)
+    app = make_app(args.app, scale=args.scale, seed=args.seed)
+    stats = app.run(rt)
+    trace = recorder.finalize()
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(trace_to_json(trace, indent=1))
+        print(f"trace written to {args.json}")
+    print(critical_path(trace).describe())
+    print()
+    print(place_timeline(trace, width=64,
+                         title=f"{args.app} under {args.scheduler}"))
+    print()
+    print(steal_flow(trace))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    names = args.artifacts or list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown artifact {name!r}; known: "
+                  f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+    for name in names:
+        print(f"\n# {name}\n")
+        out = EXPERIMENTS[name](scale=args.scale)
+        print(out.rendered)
+        if args.json_dir:
+            import os
+            from repro.analysis import experiment_to_json
+            os.makedirs(args.json_dir, exist_ok=True)
+            path = os.path.join(args.json_dir, f"{name}.json")
+            with open(path, "w") as fh:
+                fh.write(experiment_to_json(out))
+            print(f"[written {path}]")
+        if args.svg_dir and out.extra.get("series"):
+            import os
+            os.makedirs(args.svg_dir, exist_ok=True)
+            for path, svg in _render_svgs(name, out):
+                full = os.path.join(args.svg_dir, path)
+                with open(full, "w") as fh:
+                    fh.write(svg)
+                print(f"[written {full}]")
+    return 0
+
+
+def _render_svgs(name: str, out):
+    """Yield (filename, svg) pairs for an artifact with a series extra."""
+    from repro.analysis import grouped_bar_chart, line_chart
+    series = out.extra["series"]
+    first = next(iter(series.values()))
+    if isinstance(first, dict):
+        # fig5 shape: {app: {scheduler: [values-per-worker-count]}}.
+        workers = [row[2] for row in out.rows
+                   if row[0] == next(iter(series))
+                   and row[1] == "X10WS"]
+        for app, per_sched in series.items():
+            yield (f"{name}_{app}.svg",
+                   line_chart(workers, per_sched,
+                              title=f"{app}: speedup vs workers",
+                              x_label="workers", y_label="speedup"))
+    else:
+        # fig6 shape: {scheduler: [values-per-app]}.
+        groups = [row[0] for row in out.rows]
+        yield (f"{name}.svg",
+               grouped_bar_chart(groups, series,
+                                 title=f"{name} (128 workers)",
+                                 y_label="speedup"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPP'13 DistWS reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list apps, schedulers, artifacts")
+
+    runp = sub.add_parser("run", help="run one simulation")
+    runp.add_argument("--app", default="turing",
+                      choices=sorted(APP_REGISTRY))
+    runp.add_argument("--scheduler", default="DistWS",
+                      choices=sorted(SCHEDULERS))
+    runp.add_argument("--places", type=int, default=16)
+    runp.add_argument("--workers", type=int, default=8)
+    runp.add_argument("--seed", type=int, default=12345,
+                      help="application input seed")
+    runp.add_argument("--sched-seed", type=int, default=1)
+    runp.add_argument("--scale", default="bench",
+                      choices=("bench", "test"))
+    runp.add_argument("--no-validate", action="store_true")
+
+    tracep = sub.add_parser("trace",
+                            help="trace a run; print critical path + "
+                                 "timeline")
+    tracep.add_argument("--app", default="dmg",
+                        choices=sorted(APP_REGISTRY))
+    tracep.add_argument("--scheduler", default="DistWS",
+                        choices=sorted(SCHEDULERS))
+    tracep.add_argument("--places", type=int, default=8)
+    tracep.add_argument("--workers", type=int, default=4)
+    tracep.add_argument("--seed", type=int, default=12345)
+    tracep.add_argument("--sched-seed", type=int, default=1)
+    tracep.add_argument("--scale", default="test",
+                        choices=("bench", "test"))
+    tracep.add_argument("--json", help="also write the trace as JSON")
+
+    repp = sub.add_parser("reproduce",
+                          help="regenerate paper tables/figures")
+    repp.add_argument("artifacts", nargs="*",
+                      help=f"any of: {', '.join(EXPERIMENTS)}")
+    repp.add_argument("--scale", default="bench",
+                      choices=("bench", "test"))
+    repp.add_argument("--json-dir",
+                      help="also write each artifact as JSON here")
+    repp.add_argument("--svg-dir",
+                      help="also render figures (fig5/fig6) as SVG here")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return _cmd_reproduce(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Post-run analysis: traces, critical paths, timelines, exports."""
+
+from repro.analysis.critical_path import CriticalPath, critical_path
+from repro.analysis.report import (
+    experiment_to_csv,
+    experiment_to_json,
+    stats_to_dict,
+    stats_to_json,
+    trace_to_json,
+)
+from repro.analysis.svg import grouped_bar_chart, line_chart
+from repro.analysis.timeline import place_timeline, steal_flow, worker_occupancy
+from repro.analysis.trace import TaskRecord, Trace, TraceRecorder
+
+__all__ = [
+    "CriticalPath",
+    "TaskRecord",
+    "Trace",
+    "TraceRecorder",
+    "critical_path",
+    "experiment_to_csv",
+    "experiment_to_json",
+    "grouped_bar_chart",
+    "line_chart",
+    "place_timeline",
+    "stats_to_dict",
+    "stats_to_json",
+    "steal_flow",
+    "trace_to_json",
+    "worker_occupancy",
+]

@@ -1,0 +1,101 @@
+"""Critical-path analysis over an execution trace.
+
+Computes the classic work/span decomposition:
+
+- **T1** — total work (sum of task durations);
+- **T∞ (span)** — the longest chain through the spawn DAG, where a child
+  cannot start before its parent *started* (help-first semantics: the
+  parent keeps running while children execute, so the dependency edge is
+  parent-start → child-start) plus its own duration;
+- **average parallelism** — T1 / T∞;
+- the chain itself, for "why doesn't this scale?" debugging.
+
+The span uses *durations* (simulated time incl. priced memory effects),
+so it reflects what the cluster could at best achieve with infinitely
+many workers under the same cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.trace import Trace, TaskRecord
+
+
+@dataclass
+class CriticalPath:
+    """Work/span summary of a trace."""
+
+    total_work: float
+    span: float
+    chain: List[TaskRecord]
+    makespan: float
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism T1 / T-infinity."""
+        return self.total_work / self.span if self.span > 0 else 0.0
+
+    @property
+    def schedule_efficiency(self) -> float:
+        """span / makespan: 1.0 means the run hit its dependency bound."""
+        return self.span / self.makespan if self.makespan > 0 else 0.0
+
+    def describe(self, limit: int = 12) -> str:
+        """Human-readable report."""
+        lines = [
+            f"total work (T1) : {self.total_work:,.0f} cycles",
+            f"span (Tinf)     : {self.span:,.0f} cycles",
+            f"parallelism     : {self.parallelism:,.1f}",
+            f"makespan        : {self.makespan:,.0f} cycles "
+            f"(span bound {100 * self.schedule_efficiency:.0f}%)",
+            "critical chain  :",
+        ]
+        shown = self.chain[:limit]
+        for rec in shown:
+            lines.append(
+                f"  {rec.label or 'anon':>16s} #{rec.task_id}"
+                f"  p{rec.home_place}->p{rec.exec_place}"
+                f"  dur={rec.duration:,.0f}")
+        if len(self.chain) > limit:
+            lines.append(f"  ... {len(self.chain) - limit} more")
+        return "\n".join(lines)
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """Extract the work/span decomposition from a trace."""
+    records = trace.tasks
+    total_work = sum(t.duration for t in records)
+    by_id = trace.by_id()
+    # Longest path ending at each task, following spawn edges.  Parents
+    # always start before their children spawn, so processing in start
+    # order is a valid topological order.
+    best: Dict[int, float] = {}
+    prev: Dict[int, Optional[int]] = {}
+    span = 0.0
+    tail: Optional[int] = None
+    for rec in sorted(records, key=lambda t: (t.start_time, t.task_id)):
+        parent = rec.parent_id
+        base = 0.0
+        if parent is not None and parent in best:
+            # Help-first: the child's chain extends the parent's chain
+            # up to the moment the child was spawned.
+            parent_rec = by_id[parent]
+            base = best[parent] - parent_rec.duration \
+                + (rec.spawn_time - parent_rec.start_time)
+            base = max(base, 0.0)
+        length = base + rec.duration
+        best[rec.task_id] = length
+        prev[rec.task_id] = parent
+        if length > span:
+            span = length
+            tail = rec.task_id
+    chain: List[TaskRecord] = []
+    node = tail
+    while node is not None:
+        chain.append(by_id[node])
+        node = prev.get(node)
+    chain.reverse()
+    return CriticalPath(total_work=total_work, span=span, chain=chain,
+                        makespan=trace.makespan)

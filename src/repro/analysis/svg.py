@@ -1,0 +1,179 @@
+"""Dependency-free SVG rendering of experiment figures.
+
+Produces small, standalone SVG documents (no matplotlib required — the
+environment is offline) for the two figure shapes the paper uses:
+
+- :func:`line_chart` — Fig. 5-style series over a shared x axis;
+- :func:`grouped_bar_chart` — Fig. 6-style grouped bars.
+
+Both take plain ``{name: [values]}`` dictionaries, such as the ``series``
+entry in :class:`~repro.harness.paper.ExperimentOutput.extra`.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+#: Colour-blind-safe categorical palette.
+PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+           "#aa3377", "#bbbbbb"]
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _nice_max(value: float) -> float:
+    """Round ``value`` up to a tidy axis maximum."""
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** max(0, len(str(int(value))) - 1)
+    for mult in (1, 2, 5, 10):
+        if value <= mult * magnitude:
+            return float(mult * magnitude)
+    return float(10 * magnitude)
+
+
+def _frame(width: int, height: int, title: str, body: List[str]) -> str:
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" {_FONT} '
+        f'font-size="14" font-weight="bold">{_esc(title)}</text>',
+        *body,
+        "</svg>",
+    ]
+    return "\n".join(parts)
+
+
+def line_chart(x_values: Sequence[object],
+               series: Dict[str, Sequence[float]],
+               title: str = "", x_label: str = "", y_label: str = "",
+               width: int = 640, height: int = 400) -> str:
+    """Fig. 5-style multi-series line chart as an SVG string."""
+    if not series:
+        raise ConfigError("line_chart needs at least one series")
+    n = len(x_values)
+    for name, vals in series.items():
+        if len(vals) != n:
+            raise ConfigError(f"series {name!r} length mismatch")
+    if n < 1:
+        raise ConfigError("line_chart needs at least one x value")
+    left, right, top, bottom = 60, 120, 40, 50
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    y_max = _nice_max(max(max(v) for v in series.values()))
+
+    def sx(i: int) -> float:
+        return left + (plot_w * i / max(n - 1, 1))
+
+    def sy(v: float) -> float:
+        return top + plot_h * (1 - v / y_max)
+
+    body: List[str] = [
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>'
+    ]
+    # Y grid + ticks.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = top + plot_h * (1 - frac)
+        body.append(f'<line x1="{left}" y1="{y}" x2="{left + plot_w}" '
+                    f'y2="{y}" stroke="#ddd"/>')
+        body.append(f'<text x="{left - 6}" y="{y + 4}" text-anchor="end" '
+                    f'{_FONT} font-size="10">{y_max * frac:g}</text>')
+    # X ticks.
+    for i, xv in enumerate(x_values):
+        body.append(f'<text x="{sx(i)}" y="{top + plot_h + 16}" '
+                    f'text-anchor="middle" {_FONT} font-size="10">'
+                    f'{_esc(xv)}</text>')
+    # Series.
+    for si, (name, vals) in enumerate(series.items()):
+        colour = PALETTE[si % len(PALETTE)]
+        points = " ".join(f"{sx(i):.1f},{sy(v):.1f}"
+                          for i, v in enumerate(vals))
+        body.append(f'<polyline points="{points}" fill="none" '
+                    f'stroke="{colour}" stroke-width="2"/>')
+        for i, v in enumerate(vals):
+            body.append(f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" '
+                        f'r="3" fill="{colour}"/>')
+        ly = top + 14 + 18 * si
+        lx = left + plot_w + 10
+        body.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+                    f'stroke="{colour}" stroke-width="2"/>')
+        body.append(f'<text x="{lx + 24}" y="{ly + 4}" {_FONT} '
+                    f'font-size="11">{_esc(name)}</text>')
+    if x_label:
+        body.append(f'<text x="{left + plot_w / 2}" y="{height - 12}" '
+                    f'text-anchor="middle" {_FONT} font-size="11">'
+                    f'{_esc(x_label)}</text>')
+    if y_label:
+        body.append(f'<text x="16" y="{top + plot_h / 2}" {_FONT} '
+                    f'font-size="11" text-anchor="middle" '
+                    f'transform="rotate(-90 16 {top + plot_h / 2})">'
+                    f'{_esc(y_label)}</text>')
+    return _frame(width, height, title, body)
+
+
+def grouped_bar_chart(groups: Sequence[str],
+                      series: Dict[str, Sequence[float]],
+                      title: str = "", y_label: str = "",
+                      width: int = 720, height: int = 400) -> str:
+    """Fig. 6-style grouped bar chart as an SVG string."""
+    if not series or not groups:
+        raise ConfigError("grouped_bar_chart needs groups and series")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ConfigError(f"series {name!r} length mismatch")
+    left, right, top, bottom = 60, 130, 40, 60
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    y_max = _nice_max(max(max(v) for v in series.values()))
+    n_groups = len(groups)
+    n_series = len(series)
+    group_w = plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+
+    body: List[str] = [
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>'
+    ]
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = top + plot_h * (1 - frac)
+        body.append(f'<line x1="{left}" y1="{y}" x2="{left + plot_w}" '
+                    f'y2="{y}" stroke="#ddd"/>')
+        body.append(f'<text x="{left - 6}" y="{y + 4}" text-anchor="end" '
+                    f'{_FONT} font-size="10">{y_max * frac:g}</text>')
+    for gi, group in enumerate(groups):
+        gx = left + gi * group_w + group_w * 0.1
+        for si, (name, vals) in enumerate(series.items()):
+            v = vals[gi]
+            h = plot_h * v / y_max
+            x = gx + si * bar_w
+            y = top + plot_h - h
+            colour = PALETTE[si % len(PALETTE)]
+            body.append(f'<rect x="{x:.1f}" y="{y:.1f}" '
+                        f'width="{bar_w:.1f}" height="{h:.1f}" '
+                        f'fill="{colour}"/>')
+        body.append(f'<text x="{left + gi * group_w + group_w / 2}" '
+                    f'y="{top + plot_h + 16}" text-anchor="middle" '
+                    f'{_FONT} font-size="10">{_esc(group)}</text>')
+    for si, name in enumerate(series):
+        colour = PALETTE[si % len(PALETTE)]
+        ly = top + 14 + 18 * si
+        lx = left + plot_w + 10
+        body.append(f'<rect x="{lx}" y="{ly - 8}" width="14" height="10" '
+                    f'fill="{colour}"/>')
+        body.append(f'<text x="{lx + 20}" y="{ly + 1}" {_FONT} '
+                    f'font-size="11">{_esc(name)}</text>')
+    if y_label:
+        body.append(f'<text x="16" y="{top + plot_h / 2}" {_FONT} '
+                    f'font-size="11" text-anchor="middle" '
+                    f'transform="rotate(-90 16 {top + plot_h / 2})">'
+                    f'{_esc(y_label)}</text>')
+    return _frame(width, height, title, body)

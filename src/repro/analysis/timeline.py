@@ -1,0 +1,81 @@
+"""ASCII timeline (Gantt-style) rendering of an execution trace."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.trace import Trace
+from repro.errors import ConfigError
+
+#: Busyness glyphs from idle to saturated.
+_SHADES = " .:-=+*#%@"
+
+
+def place_timeline(trace: Trace, width: int = 72,
+                   title: str = "") -> str:
+    """One row per place, shaded by the fraction of busy workers."""
+    if width < 8:
+        raise ConfigError("width must be >= 8")
+    profile = trace.place_busy_profile(buckets=width)
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    for p, row in enumerate(profile):
+        cells = "".join(
+            _SHADES[min(len(_SHADES) - 1,
+                        int(v * (len(_SHADES) - 1) + 0.5))]
+            for v in row)
+        out.append(f"p{p:02d} |{cells}|")
+    out.append(f"     0{' ' * (width - 10)}{trace.makespan / 2e6:8.2f} ms")
+    return "\n".join(out)
+
+
+def steal_flow(trace: Trace, title: str = "") -> str:
+    """Matrix of remotely-executed task counts: home place -> thief."""
+    n = trace.n_places
+    counts = [[0] * n for _ in range(n)]
+    for rec in trace.tasks:
+        if rec.exec_place != rec.home_place:
+            counts[rec.home_place][rec.exec_place] += 1
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    header = "home\\exec" + "".join(f"{p:>5d}" for p in range(n))
+    out.append(header)
+    for src in range(n):
+        row = "".join(f"{counts[src][dst]:>5d}" for dst in range(n))
+        out.append(f"{src:>9d}" + row)
+    total = sum(sum(r) for r in counts)
+    out.append(f"total tasks executed away from home: {total}")
+    return "\n".join(out)
+
+
+def worker_occupancy(trace: Trace, place: int,
+                     width: int = 72) -> str:
+    """Per-worker lanes for one place (1 row per worker)."""
+    if not (0 <= place < trace.n_places):
+        raise ConfigError(f"no such place: {place}")
+    if trace.makespan <= 0:
+        return "(empty trace)"
+    lanes: dict[int, List[float]] = {
+        w: [0.0] * width for w in range(trace.workers_per_place)}
+    bucket = trace.makespan / width
+    for rec in trace.tasks:
+        if rec.exec_place != place or rec.worker is None:
+            continue
+        first = int(rec.start_time // bucket)
+        last = int(min(rec.end_time, trace.makespan - 1e-9) // bucket)
+        for b in range(first, min(last + 1, width)):
+            lo = max(rec.start_time, b * bucket)
+            hi = min(rec.end_time, (b + 1) * bucket)
+            lanes[rec.worker][b] += max(0.0, hi - lo)
+    out = [f"place {place} worker lanes:"]
+    for w in range(trace.workers_per_place):
+        cells = "".join(
+            _SHADES[min(len(_SHADES) - 1,
+                        int(v / bucket * (len(_SHADES) - 1) + 0.5))]
+            for v in lanes[w])
+        out.append(f" w{w} |{cells}|")
+    return "\n".join(out)

@@ -1,0 +1,165 @@
+"""Execution trace recording.
+
+A :class:`TraceRecorder` attaches to a :class:`~repro.runtime.runtime.
+SimRuntime` *before* the run and collects one record per task — spawn
+time, queue time, execution window, worker, home vs executing place, and
+the spawn edge to its parent — plus one record per successful steal.
+The analysis tools (timeline rendering, critical-path extraction,
+per-place load profiles) consume these traces.
+
+Attachment is by wrapping two runtime hooks (`spawn` and the worker's
+`execute`); the recorder never changes scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import Task
+
+
+@dataclass
+class TaskRecord:
+    """One executed task's lifecycle."""
+
+    task_id: int
+    label: str
+    parent_id: Optional[int]
+    home_place: int
+    exec_place: int
+    worker: int
+    spawn_time: float
+    start_time: float
+    end_time: float
+    work: float
+    flexible: bool
+    stolen_remotely: bool
+
+    @property
+    def duration(self) -> float:
+        """Simulated execution duration (work + priced effects)."""
+        return self.end_time - self.start_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Time between spawn and execution start."""
+        return self.start_time - self.spawn_time
+
+
+@dataclass
+class Trace:
+    """A completed run's trace."""
+
+    tasks: List[TaskRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    n_places: int = 0
+    workers_per_place: int = 0
+
+    def by_id(self) -> Dict[int, TaskRecord]:
+        return {t.task_id: t for t in self.tasks}
+
+    def children_index(self) -> Dict[Optional[int], List[TaskRecord]]:
+        idx: Dict[Optional[int], List[TaskRecord]] = {}
+        for t in self.tasks:
+            idx.setdefault(t.parent_id, []).append(t)
+        return idx
+
+    def place_busy_profile(self, buckets: int = 40) -> List[List[float]]:
+        """Per-place fraction of workers busy, over ``buckets`` windows."""
+        if buckets < 1:
+            raise ConfigError("buckets must be >= 1")
+        if self.makespan <= 0:
+            return [[0.0] * buckets for _ in range(self.n_places)]
+        width = self.makespan / buckets
+        out = [[0.0] * buckets for _ in range(self.n_places)]
+        for t in self.tasks:
+            first = int(t.start_time // width)
+            last = int(min(t.end_time, self.makespan - 1e-9) // width)
+            for b in range(first, last + 1):
+                lo = max(t.start_time, b * width)
+                hi = min(t.end_time, (b + 1) * width)
+                if hi > lo:
+                    out[t.exec_place][b] += (hi - lo)
+        denom = width * self.workers_per_place
+        return [[min(1.0, v / denom) for v in row] for row in out]
+
+
+class TraceRecorder:
+    """Attach to a runtime to capture its execution trace."""
+
+    def __init__(self, runtime: SimRuntime) -> None:
+        if runtime._started:
+            raise ConfigError("attach the recorder before running")
+        self.runtime = runtime
+        self.trace = Trace(n_places=runtime.spec.n_places,
+                           workers_per_place=runtime.spec.workers_per_place)
+        self._spawn_times: Dict[int, float] = {}
+        self._parents: Dict[int, Optional[int]] = {}
+        self._install()
+
+    def _install(self) -> None:
+        rt = self.runtime
+        orig_spawn = rt.spawn
+        orig_finished = rt.task_finished
+
+        def spawn(task: Task, from_place=None, finish=None,
+                  from_worker=None):
+            self._spawn_times[task.task_id] = rt.env.now
+            parent = None
+            if from_worker is not None:
+                # The currently executing task on that worker (if any)
+                # is the spawner; worker.execute sets exec markers first.
+                parent = self._current_of.get(from_worker.wid)
+            self._parents[task.task_id] = parent
+            return orig_spawn(task, from_place=from_place, finish=finish,
+                              from_worker=from_worker)
+
+        self._current_of: Dict[tuple, Optional[int]] = {}
+
+        def task_finished(task: Task, worker):
+            self._current_of[worker.wid] = None
+            self.trace.tasks.append(TaskRecord(
+                task_id=task.task_id,
+                label=task.label,
+                parent_id=self._parents.get(task.task_id),
+                home_place=task.home_place,
+                exec_place=task.exec_place,
+                worker=task.exec_worker,
+                spawn_time=self._spawn_times.get(task.task_id, 0.0),
+                start_time=task.start_time,
+                end_time=task.end_time,
+                work=task.work,
+                flexible=task.is_flexible,
+                stolen_remotely=task.stolen_remotely,
+            ))
+            return orig_finished(task, worker)
+
+        rt.spawn = spawn  # type: ignore[method-assign]
+        rt.task_finished = task_finished  # type: ignore[method-assign]
+
+        # Track which task each worker is currently executing, so spawn
+        # edges can name their parent.
+        from repro.runtime.worker import Worker
+        recorder = self
+
+        for place in rt.places:
+            for w in place.workers:
+                orig_exec = w.execute
+
+                def make_exec(w=w, orig_exec=orig_exec):
+                    def execute(task):
+                        recorder._current_of[w.wid] = task.task_id
+                        result = yield from orig_exec(task)
+                        return result
+                    return execute
+
+                w.execute = make_exec()  # type: ignore[method-assign]
+
+    def finalize(self) -> Trace:
+        """Snapshot the trace after the run completed."""
+        self.trace.makespan = self.runtime.env.now
+        self.trace.tasks.sort(key=lambda t: t.start_time)
+        return self.trace

@@ -1,0 +1,15 @@
+"""X10-flavoured APGAS programming layer over the simulated runtime."""
+
+from repro.apgas.annotations import any_place_task, is_any_place_task, resolve_locality
+from repro.apgas.api import Apgas
+from repro.apgas.dist_array import DistArray
+from repro.apgas.plh import PlaceLocalHandle
+
+__all__ = [
+    "Apgas",
+    "DistArray",
+    "PlaceLocalHandle",
+    "any_place_task",
+    "is_any_place_task",
+    "resolve_locality",
+]

@@ -1,0 +1,109 @@
+"""The evaluation application suite.
+
+Seven applications from the Cowichan and Lonestar suites (§VII), UTS
+(§X), and the five §VIII.2 micro applications.  :data:`APP_REGISTRY` maps
+names to factories; :func:`make_app` builds one with a size preset:
+
+- ``"bench"`` — the defaults, used by the paper-reproduction benchmarks;
+- ``"test"``  — small instances for fast unit/integration testing.
+"""
+
+from typing import Callable, Dict
+
+from repro.apps.agglomerative import AgglomerativeApp, agglomerate
+from repro.apps.base import Application
+from repro.apps.bh_tree import QuadTree, direct_forces
+from repro.apps.delaunay.generation import DMGApp
+from repro.apps.delaunay.mesh import DelaunayMesh
+from repro.apps.delaunay.refinement import DMRApp
+from repro.apps.kmeans import KMeansApp
+from repro.apps.micro import (
+    MICRO_APPS,
+    MatrixChainMicro,
+    MergeSortMicro,
+    MonteCarloPiMicro,
+    RandomAccessMicro,
+    SkylineMatMulMicro,
+)
+from repro.apps.nbody import NBodyApp
+from repro.apps.quicksort import QuicksortApp
+from repro.apps.turing_ring import TuringRingApp
+from repro.apps.uts import UTSApp
+from repro.errors import ConfigError
+
+#: Small-instance overrides for fast tests.
+_TEST_PARAMS: Dict[str, dict] = {
+    "quicksort": dict(n=40_000),
+    "turing": dict(n_cells=96, iterations=2, mean_bodies=1_000.0),
+    "kmeans": dict(n=6_000, iterations=3, subchunks_per_place=8),
+    "nbody": dict(n=600, steps=1, group_size=8),
+    "agglom": dict(n=2_000, n_regions=64, region_clusters=8),
+    "dmg": dict(n=1_200, n_seeds=24),
+    "dmr": dict(n_points=800, chunk=4),
+    "uts": dict(decay=0.78),
+}
+
+#: The seven paper-evaluation applications, in Figure order.
+PAPER_APPS = ("quicksort", "turing", "kmeans", "agglom", "dmg", "dmr",
+              "nbody")
+
+APP_REGISTRY: Dict[str, Callable[..., Application]] = {
+    "quicksort": QuicksortApp,
+    "turing": TuringRingApp,
+    "kmeans": KMeansApp,
+    "nbody": NBodyApp,
+    "agglom": AgglomerativeApp,
+    "dmg": DMGApp,
+    "dmr": DMRApp,
+    "uts": UTSApp,
+    "mergesort": MergeSortMicro,
+    "skyline": SkylineMatMulMicro,
+    "mcpi": MonteCarloPiMicro,
+    "matchain": MatrixChainMicro,
+    "randomaccess": RandomAccessMicro,
+}
+
+
+def make_app(name: str, scale: str = "bench", seed: int = 12345,
+             **overrides) -> Application:
+    """Instantiate a registered application at the given scale."""
+    try:
+        cls = APP_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown application {name!r}; known: "
+            f"{sorted(APP_REGISTRY)}") from None
+    params: dict = {}
+    if scale == "test":
+        params.update(_TEST_PARAMS.get(name, {}))
+    elif scale != "bench":
+        raise ConfigError(f"unknown scale {scale!r} (bench|test)")
+    params.update(overrides)
+    params["seed"] = seed
+    return cls(**params)
+
+
+__all__ = [
+    "APP_REGISTRY",
+    "AgglomerativeApp",
+    "Application",
+    "DMGApp",
+    "DMRApp",
+    "DelaunayMesh",
+    "KMeansApp",
+    "MICRO_APPS",
+    "MatrixChainMicro",
+    "MergeSortMicro",
+    "MonteCarloPiMicro",
+    "NBodyApp",
+    "PAPER_APPS",
+    "QuadTree",
+    "QuicksortApp",
+    "RandomAccessMicro",
+    "SkylineMatMulMicro",
+    "TuringRingApp",
+    "UTSApp",
+    "agglomerate",
+    "direct_forces",
+    "make_app",
+]

@@ -1,0 +1,89 @@
+"""Application framework for the evaluation suite.
+
+Every benchmark application implements :class:`Application`:
+
+- :meth:`~Application.build` spawns the root activities against the APGAS
+  layer (this is "the program" — it runs real Python computation inside
+  task bodies and annotates tasks with work, data blocks and locality);
+- :meth:`~Application.sequential` computes the oracle result with a plain
+  sequential implementation;
+- :meth:`~Application.validate` checks the parallel result against the
+  oracle (exact where the algorithm is deterministic, invariant-based for
+  order-dependent algorithms like mesh refinement).
+
+Work calibration: each app declares per-unit work constants chosen so that
+the *mean task granularity ordering* matches the paper's Table I
+(Quicksort and Turing ring fine-grained; k-Means, Agglomerative, DMG, DMR
+and n-Body coarse).  Absolute values are compressed relative to the paper
+(their coarsest tasks are ~900 ms; ours are tens of ms of simulated time)
+to keep event counts tractable — documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+from repro.apgas.api import Apgas
+from repro.errors import AppError
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.stats import RunStats
+
+
+class Application(abc.ABC):
+    """One runnable benchmark application."""
+
+    #: Registry name (e.g. ``"quicksort"``); set by subclasses.
+    name: str = "abstract"
+    #: Which suite the app comes from (cowichan / lonestar / micro / uts).
+    suite: str = ""
+
+    def __init__(self, seed: int = 12345) -> None:
+        self.seed = seed
+        self._ran = False
+
+    # -- to implement ------------------------------------------------------
+    @abc.abstractmethod
+    def build(self, apgas: Apgas) -> None:
+        """Spawn the root activities of the parallel program."""
+
+    @abc.abstractmethod
+    def sequential(self) -> Any:
+        """Compute the oracle result sequentially (pure Python/NumPy)."""
+
+    @abc.abstractmethod
+    def result(self) -> Any:
+        """The parallel computation's result (valid after :meth:`run`)."""
+
+    @abc.abstractmethod
+    def validate(self) -> None:
+        """Raise :class:`AppError` unless the parallel result is correct."""
+
+    # -- running ------------------------------------------------------------
+    def run(self, runtime: SimRuntime, validate: bool = True,
+            max_cycles: float = 1e14) -> RunStats:
+        """Execute the app on ``runtime`` and (optionally) validate."""
+        if self._ran:
+            raise AppError(
+                f"{self.name}: Application instances are single-use; "
+                "construct a fresh one per run")
+        self._ran = True
+        stats = runtime.run(lambda rt: self.build(Apgas(rt)),
+                            max_cycles=max_cycles)
+        if validate:
+            self.validate()
+        return stats
+
+    # -- helpers ------------------------------------------------------------
+    def check(self, condition: bool, message: str) -> None:
+        """Validation helper: raise a labelled :class:`AppError` on failure."""
+        if not condition:
+            raise AppError(f"{self.name}: validation failed: {message}")
+
+    def params(self) -> Dict[str, Any]:
+        """Human-readable parameter dict for reports."""
+        return {k: v for k, v in vars(self).items()
+                if not k.startswith("_") and isinstance(v, (int, float, str))}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.params()}>"

@@ -1,0 +1,14 @@
+"""Delaunay substrate and applications (Lonestar DMG/DMR).
+
+- :mod:`repro.apps.delaunay.geometry` — planar predicates;
+- :mod:`repro.apps.delaunay.mesh` — incremental Bowyer-Watson
+  triangulation with adjacency and validation helpers;
+- :mod:`repro.apps.delaunay.generation` — the DMG application (§IV-A);
+- :mod:`repro.apps.delaunay.refinement` — the DMR application.
+"""
+
+from repro.apps.delaunay.generation import DMGApp
+from repro.apps.delaunay.mesh import DelaunayMesh
+from repro.apps.delaunay.refinement import DMRApp
+
+__all__ = ["DMGApp", "DMRApp", "DelaunayMesh"]

@@ -1,0 +1,281 @@
+"""k-Means clustering (Cowichan suite).
+
+The paper clusters into four clusters over 1000 iterations; we run a
+weighted k-means (each point carries a sample weight — think pre-aggregated
+observations) at laptop scale.  The weights are spatially correlated along
+the array, so even with an even block distribution of *points*, the *work*
+per place is uneven — the irregular load the schedulers compete on.
+
+Per iteration:
+
+- a per-place **driver** walks the place's worklist and spawns one
+  **assignment task** per sub-chunk.  Assignment tasks compute real
+  weighted distances and partial sums; they encapsulate their points
+  (and the iteration's centroids travel inside every closure — a tiny
+  broadcast), so they are ``@AnyPlaceTask`` (**flexible**): stealing one
+  moves a self-contained slab of work.
+- per-place **combine tasks** then a **root reduce task** at place 0
+  (sensitive — it owns the centroids) fold the partials in a two-level
+  tree (small remote reads), and the ``finish`` continuation launches
+  the next iteration.
+
+Determinism: partial sums are keyed by sub-chunk id and reduced in sorted
+order, so the result is bit-identical to the sequential oracle run with
+the same partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apgas.api import Apgas
+from repro.apps.base import Application
+from repro.cluster.memory import block_distribution
+from repro.errors import AppError
+from repro.runtime.task import FLEXIBLE
+
+
+class KMeansApp(Application):
+    """Weighted k-means over block-distributed points."""
+
+    name = "kmeans"
+    suite = "cowichan"
+
+    #: Distance + partial-sum cost per (weighted point, centroid) pair.
+    CYCLES_PER_POINT_K = 9_000.0
+    #: Reduce cost per sub-chunk partial.
+    CYCLES_REDUCE_PER_PART = 8_000.0
+    #: Driver bookkeeping per sub-chunk.
+    CYCLES_DRIVER_PER_TASK = 4_000.0
+
+    def __init__(self, n: int = 48_000, k: int = 4, iterations: int = 6,
+                 subchunks_per_place: int = 28, seed: int = 12345) -> None:
+        super().__init__(seed)
+        if n < k:
+            raise AppError("kmeans: need at least k points")
+        if k < 1 or iterations < 1 or subchunks_per_place < 1:
+            raise AppError("kmeans: invalid parameters")
+        self.n = n
+        self.k = k
+        self.iterations = iterations
+        self.subchunks_per_place = subchunks_per_place
+        rng = np.random.default_rng(seed)
+        self._points = rng.normal(size=(n, 2)) * 3.0 \
+            + rng.integers(0, 4, size=n)[:, None] * 8.0
+        # Spatially correlated weights: stretches of heavy samples.
+        pos = np.arange(n) / n
+        log_w = 1.1 * np.sin(2 * np.pi * (3 * pos + rng.uniform()))
+        self._weights = np.exp(log_w + rng.normal(scale=0.35, size=n))
+        self._init_centroids = self._points[
+            rng.choice(n, size=k, replace=False)].copy()
+        self.centroids: Optional[np.ndarray] = None
+        self._built_partition: Optional[List[Tuple[int, int]]] = None
+        self._built_part_place: Optional[List[int]] = None
+        self._built_n_places: Optional[int] = None
+
+    # -- partitioning ---------------------------------------------------------
+    def _partition(self, n_places: int) -> List[Tuple[int, int]]:
+        """Sub-chunk (lo, hi) ranges: per place, uneven splits."""
+        ranges: List[Tuple[int, int]] = []
+        rng = np.random.default_rng(self.seed + 777)
+        for p, chunk in enumerate(block_distribution(self.n, n_places)):
+            m = len(chunk)
+            if m == 0:
+                continue
+            cuts = np.sort(rng.uniform(size=self.subchunks_per_place - 1))
+            edges = np.unique(np.concatenate(
+                ([0], np.round(cuts * m).astype(int), [m])))
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                if hi > lo:
+                    ranges.append((chunk.start + int(lo),
+                                   chunk.start + int(hi)))
+        return ranges
+
+    def _assign_partial(self, lo: int, hi: int, centroids: np.ndarray):
+        """Weighted partial sums of one sub-chunk (real computation)."""
+        pts = self._points[lo:hi]
+        w = self._weights[lo:hi]
+        d2 = ((pts[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assign = np.argmin(d2, axis=1)
+        sums = np.zeros((self.k, 2))
+        counts = np.zeros(self.k)
+        for j in range(self.k):
+            mask = assign == j
+            sums[j] = (pts[mask] * w[mask, None]).sum(axis=0)
+            counts[j] = w[mask].sum()
+        return sums, counts
+
+    def _combine(self, items) -> Tuple[np.ndarray, np.ndarray]:
+        """Sum (sums, counts) pairs in the given order."""
+        sums = np.zeros((self.k, 2))
+        counts = np.zeros(self.k)
+        for s, c in items:
+            sums += s
+            counts += c
+        return sums, counts
+
+    def _reduce_tree(self, partials: Dict[int, Tuple[np.ndarray, np.ndarray]],
+                     part_place: List[int], n_places: int,
+                     centroids: np.ndarray) -> np.ndarray:
+        """Two-level deterministic reduction: per place, then across places.
+
+        Mirrors the parallel combine/reduce task tree so the sequential
+        oracle sums in bit-identical order.
+        """
+        place_partials = []
+        for p in range(n_places):
+            mine = [partials[i] for i in sorted(partials)
+                    if part_place[i] == p]
+            if mine:
+                place_partials.append(self._combine(mine))
+        sums, counts = self._combine(place_partials)
+        new = centroids.copy()
+        nonzero = counts > 0
+        new[nonzero] = sums[nonzero] / counts[nonzero, None]
+        return new
+
+    # -- oracle -------------------------------------------------------------
+    def sequential(self) -> np.ndarray:
+        """Sequential weighted k-means with the same partition order."""
+        parts = self._built_partition or self._partition(1)
+        part_place = self._built_part_place or [0] * len(parts)
+        P = self._built_n_places or 1
+        centroids = self._init_centroids.copy()
+        for _ in range(self.iterations):
+            partials = {i: self._assign_partial(lo, hi, centroids)
+                        for i, (lo, hi) in enumerate(parts)}
+            centroids = self._reduce_tree(partials, part_place, P,
+                                          centroids)
+        return centroids
+
+    # -- parallel program -----------------------------------------------------
+    def build(self, apgas: Apgas) -> None:
+        ap = apgas
+        P = ap.n_places
+        parts = self._partition(P)
+        self._built_partition = parts
+        centroids = self._init_centroids.copy()
+        # Points: one view block per sub-chunk, homed where the points are.
+        part_place = [0] * len(parts)
+        chunks = block_distribution(self.n, P)
+        for i, (lo, _hi) in enumerate(parts):
+            for p, chunk in enumerate(chunks):
+                if chunk.start <= lo < chunk.stop:
+                    part_place[i] = p
+                    break
+        self._built_part_place = part_place
+        self._built_n_places = P
+        part_blocks = [
+            ap.alloc(part_place[i], 16 * (hi - lo), f"kpts[{i}]")
+            for i, (lo, hi) in enumerate(parts)]
+        partial_blocks = [
+            ap.alloc(part_place[i], 64 * self.k, f"kpart[{i}]")
+            for i in range(len(parts))]
+        place_partial_blocks = [
+            ap.alloc(p, 64 * self.k, f"kplace[{p}]") for p in range(P)]
+        partials: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        place_sums: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        n_parts_of = [sum(1 for q in part_place if q == p)
+                      for p in range(P)]
+
+        def spawn_iteration(it: int) -> None:
+            if it == self.iterations:
+                self.centroids = centroids
+                return
+            scope = ap.finish(f"kmeans-iter{it}")
+            # The iteration's centroids travel inside every assignment
+            # closure (a 4x2 broadcast), not as per-task remote reads.
+            snapshot = centroids.copy()
+
+            def assign_body(i: int):
+                def body(ctx) -> None:
+                    lo, hi = parts[i]
+                    partials[i] = self._assign_partial(lo, hi, snapshot)
+                return body
+
+            def driver_body(p: int):
+                def body(ctx) -> None:
+                    for i, (lo, hi) in enumerate(parts):
+                        if part_place[i] != p:
+                            continue
+                        weight = float(self._weights[lo:hi].sum())
+                        ctx.spawn(
+                            assign_body(i), place=p,
+                            work=self.CYCLES_PER_POINT_K * weight * self.k,
+                            reads=[part_blocks[i]],
+                            writes=[partial_blocks[i]],
+                            locality=FLEXIBLE, encapsulates=True,
+                            closure_bytes=64 + 16 * self.k
+                            + 16 * (hi - lo),
+                            label="kmeans-assign")
+                return body
+
+            for p in range(P):
+                if n_parts_of[p]:
+                    ap.async_at(p, driver_body(p),
+                                work=self.CYCLES_DRIVER_PER_TASK
+                                * n_parts_of[p],
+                                label="kmeans-driver", finish=scope)
+
+            def combine_barrier() -> None:
+                # Level 1: per-place combine tasks (parallel, sensitive).
+                combine_scope = ap.finish(f"kmeans-combine{it}")
+
+                def combine_body(p: int):
+                    def body(ctx) -> None:
+                        mine = [partials[i] for i in sorted(partials)
+                                if part_place[i] == p]
+                        place_sums[p] = self._combine(mine)
+                    return body
+
+                for p in range(P):
+                    if n_parts_of[p]:
+                        mine_blocks = [partial_blocks[i]
+                                       for i in range(len(parts))
+                                       if part_place[i] == p]
+                        ap.async_at(p, combine_body(p),
+                                    work=self.CYCLES_REDUCE_PER_PART
+                                    * n_parts_of[p],
+                                    reads=mine_blocks,
+                                    writes=[place_partial_blocks[p]],
+                                    label="kmeans-combine",
+                                    finish=combine_scope)
+                combine_scope.on_complete(root_barrier)
+                combine_scope.close()
+
+            def root_barrier() -> None:
+                nonlocal centroids
+                new = self._reduce_tree(partials, part_place, P, snapshot)
+                partials.clear()
+                place_sums.clear()
+                reduce_scope = ap.finish(f"kmeans-reduce{it}")
+
+                def reduce_body(ctx) -> None:
+                    centroids[:] = new
+
+                ap.async_at(0, reduce_body,
+                            work=self.CYCLES_REDUCE_PER_PART * P,
+                            reads=place_partial_blocks,
+                            label="kmeans-reduce", finish=reduce_scope)
+                reduce_scope.on_complete(lambda: spawn_iteration(it + 1))
+                reduce_scope.close()
+
+            scope.on_complete(combine_barrier)
+            scope.close()
+
+        spawn_iteration(0)
+
+    # -- results -------------------------------------------------------------
+    def result(self) -> np.ndarray:
+        if self.centroids is None:
+            raise AppError("kmeans: run() has not been called")
+        return self.centroids
+
+    def validate(self) -> None:
+        got = self.result()
+        want = self.sequential()
+        self.check(got.shape == (self.k, 2), "centroid shape wrong")
+        self.check(bool(np.allclose(got, want, rtol=0, atol=0)),
+                   "centroids differ from the sequential oracle")

@@ -1,0 +1,257 @@
+"""Quicksort (Cowichan suite).
+
+The paper sorts 100M elements on the cluster; we sort a configurable array
+(default 400k) with the standard distributed formulation of quicksort —
+sample sort with quicksort phases:
+
+1. **local sort** — each place's chunk is cut into per-worker slices that
+   are quicksorted in place (real ``numpy`` sorts).  These tasks touch the
+   place's chunk, so they are *locality-sensitive*.
+2. **pivot selection** — one task at place 0 picks bucket pivots from a
+   sample of *its own* chunk only.  This crude sampling is deliberate: on
+   clustered input it yields skewed bucket sizes, i.e. the irregular load
+   the paper's schedulers compete on.
+3. **split** — each place locates the pivot boundaries in its sorted chunk
+   (``searchsorted``) and publishes per-(place, bucket) segments as data
+   blocks homed at the source place.
+4. **bucket merge** — one task per bucket gathers its P segments (an
+   all-to-all exchange: the blocks migrate to wherever the task runs) and
+   merges them.  A bucket task encapsulates everything it needs, so it is
+   ``@AnyPlaceTask``-**flexible** — the tasks DistWS may steal across
+   nodes when a fat bucket overloads its home place.
+
+Granularity: bucket-merge work is calibrated so a mean task costs ≈1.1 ms
+of simulated time (Table I's Quicksort row).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apgas.api import Apgas
+from repro.apgas.dist_array import DistArray
+from repro.apps.base import Application
+from repro.errors import AppError
+
+
+class QuicksortApp(Application):
+    """Distributed sample-sort quicksort over a block-distributed array."""
+
+    name = "quicksort"
+    suite = "cowichan"
+
+    #: Local quicksort cost per element.
+    CYCLES_SORT = 700.0
+    #: Merge cost per element in the bucket-merge phase.
+    CYCLES_MERGE = 500.0
+    #: Split/searchsorted cost per element.
+    CYCLES_SPLIT = 6.0
+    #: Pivot-selection cost per sample.
+    CYCLES_PIVOT = 50.0
+
+    def __init__(self, n: int = 400_000, buckets_per_worker: float = 1.5,
+                 skew: float = 2.5, seed: int = 12345) -> None:
+        super().__init__(seed)
+        if n < 16:
+            raise AppError("quicksort: n must be >= 16")
+        self.n = n
+        self.buckets_per_worker = buckets_per_worker
+        self.skew = skew
+        rng = np.random.default_rng(seed)
+        # Cluster mixture whose weights drift with array position: the
+        # leading chunk (where the pivots are sampled) under-represents the
+        # clusters that dominate elsewhere, so the crude place-0 sample
+        # yields skewed buckets — the irregular load the schedulers compete
+        # on.  (The paper's 100M-element runs get their irregularity from
+        # value distribution and memory effects at scale.)
+        n_clusters = 6
+        centers = rng.uniform(0, 1000, size=n_clusters)
+        phases = rng.uniform(0, 1, size=n_clusters)
+        x = np.arange(n) / max(n - 1, 1)
+        logits = self.skew * np.cos(2 * np.pi
+                                    * (x[:, None] - phases[None, :]))
+        weights = np.exp(logits)
+        weights /= weights.sum(axis=1, keepdims=True)
+        u = rng.uniform(size=n)
+        which = (np.cumsum(weights, axis=1) < u[:, None]).sum(axis=1)
+        which = np.clip(which, 0, n_clusters - 1)
+        self._input = rng.normal(centers[which], 4.0)
+        self._buckets: Dict[int, np.ndarray] = {}
+        self._segments: Dict[Tuple[int, int], np.ndarray] = {}
+        self._out: Optional[np.ndarray] = None
+
+    # -- oracle -------------------------------------------------------------
+    def sequential(self) -> np.ndarray:
+        """Plain sort of the input."""
+        return np.sort(self._input)
+
+    # -- parallel program -----------------------------------------------------
+    def build(self, apgas: Apgas) -> None:
+        ap = apgas
+        self._buckets = {}
+        self._segments = {}
+        data = self._input.copy()
+        arr = DistArray.from_numpy(ap, data, label="qsort")
+        P = ap.n_places
+        n_buckets = max(P, int(round(
+            self.buckets_per_worker * P
+            * ap.rt.spec.workers_per_place)))
+        sorted_chunks: Dict[int, np.ndarray] = {}
+
+        # ---- phase 4: bucket merges (flexible; the stealable tasks) ----
+        # A fat bucket (crude pivots!) is split into several sub-merge
+        # tasks, all homed at the bucket's place: granularity stays
+        # bounded, and the skew shows up as *task-count* imbalance that
+        # only cross-node stealing can repair.
+        target_elems = max(256, (2 * self.n) // max(n_buckets, 1))
+
+        def spawn_merges() -> None:
+            scope = ap.finish("qsort-merge")
+            for b in range(n_buckets):
+                segs = [self._segments[(p, b)] for p in range(P)]
+                size = int(sum(len(s) for s in segs))
+                home = b % P
+                n_sub = max(1, -(-size // target_elems))
+                if n_sub == 1:
+                    sub_slices = [segs]
+                else:
+                    merged_view = np.concatenate([s for s in segs if len(s)])
+                    qs = np.linspace(0, 1, n_sub + 1)[1:-1]
+                    cuts = np.quantile(merged_view, qs)
+                    sub_slices = []
+                    for j in range(n_sub):
+                        lo = -np.inf if j == 0 else cuts[j - 1]
+                        hi = np.inf if j == n_sub - 1 else cuts[j]
+                        sub_slices.append(
+                            [s[(s > lo) & (s <= hi)] if j else s[s <= hi]
+                             for s in segs])
+
+                for j, sub in enumerate(sub_slices):
+                    sub_size = int(sum(len(s) for s in sub))
+                    # One view block per non-empty source slice: a stolen
+                    # sub-merge hauls exactly its own data, nothing more.
+                    blocks = [ap.alloc(p, 8 * len(s), f"qsub[{p},{b},{j}]")
+                              for p, s in enumerate(sub) if len(s)]
+
+                    def merge_body(b=b, j=j, sub=sub):
+                        def body(ctx) -> None:
+                            parts = [s for s in sub if len(s)]
+                            merged = (np.sort(np.concatenate(parts))
+                                      if parts else np.empty(0))
+                            self._buckets[(b, j)] = merged
+                        return body
+
+                    ap.async_at(home, merge_body(),
+                                work=self.CYCLES_MERGE * max(sub_size, 1),
+                                reads=blocks, flexible=True,
+                                encapsulates=True, closure_bytes=256,
+                                label="qsort-bucket", finish=scope)
+            scope.close()
+
+        # ---- phase 3: per-place splits (sensitive) ----
+        def spawn_splits(pivots: np.ndarray) -> None:
+            scope = ap.finish("qsort-split")
+            self._seg_blocks: Dict[Tuple[int, int], object] = {}
+
+            def split_body(p: int):
+                def body(ctx) -> None:
+                    chunk = sorted_chunks[p]
+                    bounds = np.searchsorted(chunk, pivots, side="right")
+                    edges = np.concatenate(([0], bounds, [len(chunk)]))
+                    for b in range(n_buckets):
+                        seg = chunk[edges[b]:edges[b + 1]]
+                        self._segments[(p, b)] = seg
+                        self._seg_blocks[(p, b)] = ap.alloc(
+                            p, max(8 * len(seg), 8), f"qseg[{p},{b}]")
+                return body
+
+            for p in range(P):
+                chunk_len = len(arr.chunk_of(p))
+                ap.async_at(p, split_body(p),
+                            work=self.CYCLES_SPLIT * max(chunk_len, 1),
+                            reads=[arr.block_of(p)], label="qsort-split",
+                            finish=scope)
+            scope.on_complete(spawn_merges)
+            scope.close()
+
+        # ---- phase 2: pivot selection at place 0 (crude by design) ----
+        def spawn_pivot() -> None:
+            scope = ap.finish("qsort-pivot")
+
+            def pivot_body(ctx) -> None:
+                sample = sorted_chunks[0]
+                step = max(1, len(sample) // (4 * n_buckets))
+                sampled = sample[::step]
+                qs = np.linspace(0, 1, n_buckets + 1)[1:-1]
+                self._pivots = np.quantile(sampled, qs)
+
+            ap.async_at(0, pivot_body,
+                        work=self.CYCLES_PIVOT * max(1, len(arr.chunk_of(0))
+                                                     // (4 * n_buckets)),
+                        reads=[arr.block_of(0)], label="qsort-pivot",
+                        finish=scope)
+            scope.on_complete(lambda: spawn_splits(self._pivots))
+            scope.close()
+
+        # ---- phase 1: per-worker local sorts, then per-place merge ----
+        phase1 = ap.finish("qsort-local")
+        W = ap.rt.spec.workers_per_place
+
+        def local_sort_body(p: int, lo: int, hi: int):
+            def body(ctx) -> None:
+                data[lo:hi] = np.sort(data[lo:hi])
+            return body
+
+        def local_merge_body(p: int):
+            def body(ctx) -> None:
+                chunk = arr.local_view(p)
+                sorted_chunks[p] = np.sort(chunk)  # merge of sorted runs
+            return body
+
+        for p in range(P):
+            chunk = arr.chunk_of(p)
+            m = len(chunk)
+            sub = max(1, m // W)
+            sub_scope = ap.finish(f"qsort-local-p{p}", parent=phase1)
+            starts = list(range(chunk.start, chunk.stop, sub))
+            for s in starts:
+                e = min(s + sub, chunk.stop)
+                ap.async_at(p, local_sort_body(p, s, e),
+                            work=self.CYCLES_SORT * max(e - s, 1),
+                            reads=[arr.block_of(p)],
+                            writes=[arr.block_of(p)],
+                            label="qsort-local", finish=sub_scope)
+
+            def merge_closure(p=p, sub_scope=sub_scope):
+                merge_scope = ap.finish(f"qsort-lmerge-p{p}", parent=phase1)
+                ap.async_at(p, local_merge_body(p),
+                            work=self.CYCLES_MERGE
+                            * max(len(arr.chunk_of(p)), 1) * 0.2,
+                            reads=[arr.block_of(p)],
+                            writes=[arr.block_of(p)],
+                            label="qsort-lmerge", finish=merge_scope)
+                merge_scope.close()
+
+            sub_scope.on_complete(merge_closure)
+            sub_scope.close()
+        phase1.on_complete(spawn_pivot)
+        phase1.close()
+
+    # -- results -------------------------------------------------------------
+    def result(self) -> np.ndarray:
+        if not self._buckets:
+            raise AppError("quicksort: run() has not been called")
+        if self._out is None:
+            parts = [self._buckets[b] for b in sorted(self._buckets)]
+            self._out = np.concatenate(parts) if parts else np.empty(0)
+        return self._out
+
+    def validate(self) -> None:
+        out = self.result()
+        self.check(len(out) == self.n, "length changed")
+        self.check(bool(np.all(out[:-1] <= out[1:])), "output not sorted")
+        self.check(np.array_equal(np.sort(self._input), out),
+                   "output is not a permutation of the input")

@@ -1,0 +1,44 @@
+"""Simulated cluster substrate: topology, interconnect, caches, memory.
+
+This package models the paper's experimental platform (16 nodes x 8 workers
+on InfiniBand) at the level of detail the evaluation observes: cycle costs,
+message counts, L1 miss rates, and data placement.
+"""
+
+from repro.cluster.cache import CacheStats, LruCache
+from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.memory import DataBlock, MemoryManager, block_distribution
+from repro.cluster.network import (
+    MSG_DATA_BLOCK,
+    MSG_REMOTE_REF,
+    MSG_RESULT_COPYBACK,
+    MSG_STEAL_REPLY,
+    MSG_STEAL_REQUEST,
+    MSG_TASK_SHIP,
+    MSG_TERMINATION,
+    Network,
+    NetworkStats,
+)
+from repro.cluster.topology import ClusterSpec, paper_cluster, worker_sweep
+
+__all__ = [
+    "CacheStats",
+    "ClusterSpec",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DataBlock",
+    "LruCache",
+    "MemoryManager",
+    "MSG_DATA_BLOCK",
+    "MSG_REMOTE_REF",
+    "MSG_RESULT_COPYBACK",
+    "MSG_STEAL_REPLY",
+    "MSG_STEAL_REQUEST",
+    "MSG_TASK_SHIP",
+    "MSG_TERMINATION",
+    "Network",
+    "NetworkStats",
+    "block_distribution",
+    "paper_cluster",
+    "worker_sweep",
+]

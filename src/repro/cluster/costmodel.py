@@ -1,0 +1,126 @@
+"""The cycle-level cost model for the simulated cluster.
+
+All simulated durations in the library are expressed in *cycles* of one
+worker's core.  The defaults below are calibrated against the paper's
+platform (2 GHz Opteron nodes on 10 Gbit/s InfiniBand with MVAPICH2):
+
+- ``cycles_per_ms = 2e6`` (2 GHz).
+- A remote steal costs a request/response round trip plus deque locking on
+  the victim — tens of microseconds, i.e. tens of thousands of cycles.
+- An L1 miss costs a few tens of cycles; a remote (cross-node) data access
+  costs microseconds.
+
+The absolute values do not need to match the authors' hardware — the
+reproduction targets the *shape* of the results — but the ordering
+(local deque op << L1 miss << local steal << remote access << remote steal)
+is what produces the paper's trade-off between locality and balance, so it
+is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulation cost parameters, all in cycles unless noted."""
+
+    #: Conversion factor used only for reporting (2 GHz core).
+    cycles_per_ms: float = 2_000_000.0
+
+    # -- deque and task bookkeeping ---------------------------------------
+    #: Owner push/pop on a private (unsynchronized) deque.
+    private_deque_op: float = 20.0
+    #: Hold time of the shared deque lock for one push/pop.
+    shared_deque_op: float = 200.0
+    #: Creating and enqueueing a task (allocation, frame capture).
+    spawn_overhead: float = 150.0
+    #: Extra mapping cost DistWS pays per task to consult place status
+    #: (Algorithm 1 lines 4-8). X10WS does not pay this.
+    locality_mapping_overhead: float = 60.0
+    #: Creating a closure from a stolen activity, serializing its captured
+    #: state and annotating it for remote execution (Algorithm 1 lines
+    #: 25-27).  Serialization dominates real X10 steal cost (~10 us).
+    closure_create: float = 20_000.0
+
+    # -- stealing ----------------------------------------------------------
+    #: CPU cost of one failed poll of a co-located victim's deque.
+    local_steal_attempt: float = 120.0
+    #: CPU cost of a successful steal from a co-located worker.
+    local_steal_success: float = 250.0
+    #: Idle back-off between successive failed search rounds (doubles per
+    #: consecutive failure up to :attr:`max_idle_backoff`).
+    idle_backoff: float = 400.0
+    #: Cap on the idle back-off (0.25 ms at 2 GHz).  Large enough that a
+    #: starving cluster does not flood the interconnect with failed steal
+    #: requests; work arriving at the local place wakes a parked worker
+    #: immediately regardless of the back-off.
+    max_idle_backoff: float = 500_000.0
+
+    # -- interconnect --------------------------------------------------------
+    #: One-way small-message latency between nodes (~2.5 us at 2 GHz).
+    net_latency: float = 5_000.0
+    #: Per-byte transfer cost (10 Gbit/s ~= 1.25 GB/s ~= 1.6 cycles/byte).
+    net_cycles_per_byte: float = 1.6
+    #: Fixed protocol overhead of a steal request processed at the victim
+    #: (lock the shared deque remotely, pop, prepare the reply — ~5 us of
+    #: software path on the victim side).
+    remote_steal_service: float = 10_000.0
+
+    # -- memory hierarchy ------------------------------------------------------
+    #: Penalty per cache *line* missed in L1 (hits in local memory).
+    l1_miss_penalty: float = 40.0
+    #: Penalty for touching a block whose only copy lives on another node
+    #: (one fine-grained remote reference; also sends a message pair).
+    remote_access_penalty: float = 12_000.0
+    #: Cache line size used to weigh blocks.
+    cache_line_bytes: int = 64
+    #: L1 data cache capacity in lines (64 KiB / 64 B).
+    l1_capacity_lines: int = 1024
+    #: Interconnect MTU: transfers are fragmented into packets of this
+    #: size, and Table III's message counts include every packet.
+    packet_bytes: int = 4096
+
+    # -- derived helpers -------------------------------------------------------
+    def ms(self, cycles: float) -> float:
+        """Convert cycles to milliseconds for reporting."""
+        return cycles / self.cycles_per_ms
+
+    def cycles(self, ms: float) -> float:
+        """Convert milliseconds to cycles."""
+        return ms * self.cycles_per_ms
+
+    def transfer_cycles(self, nbytes: int) -> float:
+        """Latency of moving ``nbytes`` across the interconnect."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size: {nbytes}")
+        return self.net_latency + nbytes * self.net_cycles_per_byte
+
+    def validate(self) -> None:
+        """Check the ordering invariants the reproduction depends on."""
+        if not (self.private_deque_op < self.shared_deque_op):
+            raise ConfigError("private deque ops must be cheaper than shared")
+        if not (self.l1_miss_penalty < self.remote_access_penalty):
+            raise ConfigError("L1 miss must be cheaper than a remote access")
+        if not (self.local_steal_success < self.net_latency):
+            raise ConfigError("local steal must be cheaper than a network hop")
+        for name in ("cycles_per_ms", "net_cycles_per_byte"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.l1_capacity_lines <= 0:
+            raise ConfigError("l1_capacity_lines must be positive")
+        if self.cache_line_bytes <= 0:
+            raise ConfigError("cache_line_bytes must be positive")
+        if self.packet_bytes <= 0:
+            raise ConfigError("packet_bytes must be positive")
+
+    def block_lines(self, nbytes: int) -> int:
+        """Cache-line weight of an ``nbytes`` block (at least one line)."""
+        return max(1, -(-int(nbytes) // self.cache_line_bytes))
+
+
+#: Cost model used by all paper-reproduction experiments.
+DEFAULT_COST_MODEL = CostModel()

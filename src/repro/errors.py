@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised when :meth:`repro.sim.engine.Environment.run` exhausts the event
+    heap but at least one live process is blocked on an event that can no
+    longer be triggered by anyone.
+    """
+
+
+class SchedulerError(ReproError):
+    """A scheduling policy violated an invariant (e.g. moved a sensitive task)."""
+
+
+class PlacementError(ReproError):
+    """A task or data block was addressed to a place that does not exist."""
+
+
+class AppError(ReproError):
+    """An application produced an invalid result or received bad parameters."""
+
+
+class ConfigError(ReproError):
+    """An experiment or cluster configuration is inconsistent."""

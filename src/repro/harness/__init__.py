@@ -1,0 +1,46 @@
+"""Benchmark harness: experiment runner + the paper's table/figure registry."""
+
+from repro.harness.experiment import CellResult, RunResult, run_cell, run_once
+from repro.harness.figures import bar_chart, grouped_bars, series_lines
+from repro.harness.paper import (
+    EXPERIMENTS,
+    MAIN_SCHEDULERS,
+    ExperimentOutput,
+    chunk_study,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    granularity_study,
+    table1,
+    table2,
+    table3,
+    uts_study,
+)
+from repro.harness.tables import render_table
+
+__all__ = [
+    "CellResult",
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "MAIN_SCHEDULERS",
+    "RunResult",
+    "bar_chart",
+    "chunk_study",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "granularity_study",
+    "grouped_bars",
+    "render_table",
+    "run_cell",
+    "run_once",
+    "series_lines",
+    "table1",
+    "table2",
+    "table3",
+    "uts_study",
+]

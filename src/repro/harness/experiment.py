@@ -1,0 +1,114 @@
+"""Experiment execution: one (app, scheduler, cluster, seeds) run.
+
+The paper reports averages of ten executions (§VIII); the harness runs a
+configurable number of scheduler seeds per cell and aggregates.  Speedups
+are computed against the *sequential execution time*, which for the
+simulator is the total task work of the (schedule-independent) task graph
+— what a single worker with no scheduling overhead would take, matching
+the paper's sequential-implementation baseline (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps import make_app
+from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.topology import ClusterSpec, paper_cluster
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.stats import RunStats
+from repro.sched import make_scheduler
+
+
+@dataclass
+class RunResult:
+    """One simulation run's interesting outputs."""
+
+    app: str
+    scheduler: str
+    spec: ClusterSpec
+    app_seed: int
+    sched_seed: int
+    stats: RunStats
+    wall_seconds: float
+
+    @property
+    def sequential_cycles(self) -> float:
+        """Total task work = the sequential-baseline execution time."""
+        return self.stats.work_sum_cycles
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the sequential baseline."""
+        if self.stats.makespan_cycles <= 0:
+            return 0.0
+        return self.sequential_cycles / self.stats.makespan_cycles
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.stats.makespan_cycles / DEFAULT_COST_MODEL.cycles_per_ms
+
+
+@dataclass
+class CellResult:
+    """Aggregate over several scheduler seeds of the same cell."""
+
+    runs: List[RunResult] = field(default_factory=list)
+
+    def _vals(self, fn: Callable[[RunResult], float]) -> List[float]:
+        return [fn(r) for r in self.runs]
+
+    @property
+    def mean_speedup(self) -> float:
+        return statistics.fmean(self._vals(lambda r: r.speedup))
+
+    @property
+    def mean_makespan_ms(self) -> float:
+        return statistics.fmean(self._vals(lambda r: r.makespan_ms))
+
+    def mean(self, fn: Callable[[RunResult], float]) -> float:
+        return statistics.fmean(self._vals(fn))
+
+
+def run_once(app_name: str, scheduler: str,
+             spec: Optional[ClusterSpec] = None,
+             app_seed: int = 12345, sched_seed: int = 1,
+             scale: str = "bench",
+             costs: CostModel = DEFAULT_COST_MODEL,
+             validate: bool = True,
+             sched_kwargs: Optional[dict] = None,
+             app_overrides: Optional[dict] = None) -> RunResult:
+    """Run one (app, scheduler, cluster) cell once."""
+    spec = spec or paper_cluster()
+    app = make_app(app_name, scale=scale, seed=app_seed,
+                   **(app_overrides or {}))
+    sched = make_scheduler(scheduler, **(sched_kwargs or {}))
+    rt = SimRuntime(spec, sched, costs=costs, seed=sched_seed)
+    t0 = time.perf_counter()
+    stats = app.run(rt, validate=validate)
+    wall = time.perf_counter() - t0
+    return RunResult(app_name, scheduler, spec, app_seed, sched_seed,
+                     stats, wall)
+
+
+def run_cell(app_name: str, scheduler: str,
+             spec: Optional[ClusterSpec] = None,
+             app_seed: int = 12345,
+             sched_seeds: Sequence[int] = (1, 2, 3),
+             scale: str = "bench",
+             costs: CostModel = DEFAULT_COST_MODEL,
+             validate: bool = True,
+             sched_kwargs: Optional[dict] = None,
+             app_overrides: Optional[dict] = None) -> CellResult:
+    """Run a cell once per scheduler seed and aggregate."""
+    cell = CellResult()
+    for s in sched_seeds:
+        cell.runs.append(run_once(
+            app_name, scheduler, spec, app_seed, s, scale, costs,
+            validate, sched_kwargs, app_overrides))
+        # Validating every repetition is redundant for deterministic apps.
+        validate = False
+    return cell

@@ -1,0 +1,65 @@
+"""ASCII figure rendering (bar charts and grouped series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(items: Sequence[Tuple[str, float]], width: int = 46,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart, one bar per (label, value)."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    if not items:
+        out.append("(no data)")
+        return "\n".join(out)
+    vmax = max(v for _, v in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    for label, value in items:
+        n = int(round(width * value / vmax))
+        out.append(f"{label.rjust(label_w)} |{'#' * n}"
+                   f" {value:.3g}{unit}")
+    return "\n".join(out)
+
+
+def grouped_bars(groups: Sequence[str],
+                 series: Dict[str, Sequence[float]],
+                 width: int = 40, title: str = "",
+                 unit: str = "") -> str:
+    """Several named series over common groups (Fig. 5/6 style)."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    vmax = max((max(vals) for vals in series.values() if len(vals)),
+               default=1.0) or 1.0
+    label_w = max([len(g) for g in groups]
+                  + [len(s) for s in series], default=4)
+    for gi, group in enumerate(groups):
+        out.append(f"{group}:")
+        for name, vals in series.items():
+            v = vals[gi]
+            n = int(round(width * v / vmax))
+            out.append(f"  {name.rjust(label_w)} |{'#' * n}"
+                       f" {v:.3g}{unit}")
+    return "\n".join(out)
+
+
+def series_lines(x_labels: Sequence[object],
+                 series: Dict[str, Sequence[float]],
+                 title: str = "") -> str:
+    """Compact numeric series table (one row per x, one col per series)."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    names = list(series)
+    header = "x".rjust(8) + "".join(n.rjust(12) for n in names)
+    out.append(header)
+    for i, x in enumerate(x_labels):
+        row = f"{x!s:>8}" + "".join(
+            f"{series[n][i]:>12.3f}" for n in names)
+        out.append(row)
+    return "\n".join(out)

@@ -1,0 +1,5 @@
+"""Thread-based live executor with the DistWS deque structure (API demo)."""
+
+from repro.live.executor import LiveExecutor
+
+__all__ = ["LiveExecutor"]

@@ -1,0 +1,190 @@
+"""A real (threaded) executor with DistWS's dual-deque structure.
+
+This is a demonstration that the paper's scheduling structure — private
+per-worker deques for locality-sensitive tasks, one shared deque per
+place for ``@AnyPlaceTask`` work, and the local-first steal order — runs
+real Python callables, not only simulated ones.
+
+It is **not** a performance vehicle: CPython's GIL serialises Python
+bytecode, which is exactly why the quantitative reproduction lives in the
+deterministic simulator (see DESIGN.md).  Use it to sanity-check program
+structure, or as a reference implementation of Algorithm 1's control
+flow over ordinary threads.
+
+"Places" are thread groups in one process; stealing across places models
+the paper's cross-node steal without a network.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ConfigError, SchedulerError
+
+
+class _LiveTask:
+    __slots__ = ("fn", "args", "kwargs", "future", "home_place",
+                 "flexible", "exec_place")
+
+    def __init__(self, fn, args, kwargs, home_place, flexible):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.future: Future = Future()
+        self.home_place = home_place
+        self.flexible = flexible
+        self.exec_place: Optional[int] = None
+
+
+class LiveExecutor:
+    """Thread-based dual-deque work-stealing executor."""
+
+    def __init__(self, n_places: int = 2, workers_per_place: int = 2,
+                 selective: bool = True, seed: int = 0) -> None:
+        if n_places < 1 or workers_per_place < 1:
+            raise ConfigError("need at least one place and worker")
+        self.n_places = n_places
+        self.workers_per_place = workers_per_place
+        #: DistWS semantics when True: only flexible tasks cross places.
+        self.selective = selective
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._private: List[List[collections.deque]] = [
+            [collections.deque() for _ in range(workers_per_place)]
+            for _ in range(n_places)]
+        self._shared: List[collections.deque] = [
+            collections.deque() for _ in range(n_places)]
+        self._pending = 0
+        self._shutdown = False
+        self._rng = random.Random(seed)
+        self.stats = collections.Counter()
+        self._threads: List[threading.Thread] = []
+        for p in range(n_places):
+            for w in range(workers_per_place):
+                t = threading.Thread(target=self._worker_loop,
+                                     args=(p, w), daemon=True,
+                                     name=f"live-p{p}w{w}")
+                t.start()
+                self._threads.append(t)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, fn: Callable, *args, place: int = 0,
+               flexible: bool = False, **kwargs) -> Future:
+        """Submit ``fn(*args, **kwargs)`` homed at ``place``."""
+        if not (0 <= place < self.n_places):
+            raise ConfigError(f"no such place: {place}")
+        if self._shutdown:
+            raise SchedulerError("executor is shut down")
+        task = _LiveTask(fn, args, kwargs, place, flexible)
+        with self._lock:
+            self._pending += 1
+            if flexible:
+                self._shared[place].append(task)
+            else:
+                # Round-robin onto the home place's private deques.
+                deques = self._private[place]
+                target = min(range(len(deques)),
+                             key=lambda i: len(deques[i]))
+                deques[target].append(task)
+            self._work_available.notify_all()
+        return task.future
+
+    def map_local(self, fn: Callable, items, place: int = 0,
+                  flexible: bool = True) -> list:
+        """Submit one task per item and gather results in order."""
+        futures = [self.submit(fn, item, place=place, flexible=flexible)
+                   for item in items]
+        return [f.result() for f in futures]
+
+    # -- lifecycle ------------------------------------------------------------
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted task has completed."""
+        done = threading.Event()
+
+        def check():
+            with self._lock:
+                return self._pending == 0
+
+        import time
+        deadline = None if timeout is None else time.time() + timeout
+        while not check():
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError("live executor join timed out")
+            time.sleep(0.001)
+
+    def shutdown(self) -> None:
+        """Stop all workers (pending tasks are finished first)."""
+        self.join()
+        with self._lock:
+            self._shutdown = True
+            self._work_available.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "LiveExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- worker ------------------------------------------------------------
+    def _take_work(self, p: int, w: int) -> Optional[_LiveTask]:
+        """Algorithm 1's steal order, under the executor lock."""
+        mine = self._private[p][w]
+        if mine:
+            self.stats["own_pops"] += 1
+            return mine.pop()  # LIFO for the owner
+        # Steal from co-located workers (oldest end).
+        order = list(range(self.workers_per_place))
+        self._rng.shuffle(order)
+        for v in order:
+            if v != w and self._private[p][v]:
+                self.stats["local_steals"] += 1
+                return self._private[p][v].popleft()
+        # Local shared deque (FIFO).
+        if self._shared[p]:
+            self.stats["shared_takes"] += 1
+            return self._shared[p].popleft()
+        # Remote shared deques.
+        places = [q for q in range(self.n_places) if q != p]
+        self._rng.shuffle(places)
+        for q in places:
+            if self._shared[q]:
+                self.stats["remote_steals"] += 1
+                return self._shared[q].popleft()
+        if not self.selective:
+            # Non-selective: raid remote private deques too.
+            for q in places:
+                for v in range(self.workers_per_place):
+                    if self._private[q][v]:
+                        self.stats["remote_steals"] += 1
+                        return self._private[q][v].popleft()
+        return None
+
+    def _worker_loop(self, p: int, w: int) -> None:
+        while True:
+            with self._lock:
+                task = self._take_work(p, w)
+                while task is None and not self._shutdown:
+                    self._work_available.wait(timeout=0.05)
+                    task = self._take_work(p, w)
+                if task is None and self._shutdown:
+                    return
+            assert task is not None
+            if self.selective and not task.flexible \
+                    and task.home_place != p:  # pragma: no cover
+                raise SchedulerError(
+                    "sensitive task leaked across places")
+            task.exec_place = p
+            try:
+                result = task.fn(*task.args, **task.kwargs)
+            except BaseException as exc:  # propagate to the future
+                task.future.set_exception(exc)
+            else:
+                task.future.set_result(result)
+            with self._lock:
+                self._pending -= 1

@@ -1,0 +1,33 @@
+"""Tasking runtime: tasks, deques, places, workers, finish scopes, stats."""
+
+from repro.runtime.deques import PrivateDeque, SharedDeque
+from repro.runtime.finish import FinishScope
+from repro.runtime.place import Place
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.stats import RunStats, StealCounters
+from repro.runtime.task import (
+    FLEXIBLE,
+    SENSITIVE,
+    Locality,
+    Task,
+    TaskContext,
+    TaskState,
+)
+from repro.runtime.worker import Worker
+
+__all__ = [
+    "FLEXIBLE",
+    "FinishScope",
+    "Locality",
+    "Place",
+    "PrivateDeque",
+    "RunStats",
+    "SENSITIVE",
+    "SharedDeque",
+    "SimRuntime",
+    "StealCounters",
+    "Task",
+    "TaskContext",
+    "TaskState",
+    "Worker",
+]

@@ -1,0 +1,135 @@
+"""A place: one shared-memory node of the cluster.
+
+Owns the shared deque, the incoming-task mailbox, and the load-status
+bookkeeping Algorithm 1 consults ("The scheduler creates an object at each
+place to maintain information that helps it to identify idle or
+lightly-loaded places", §VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.deques import PrivateDeque, SharedDeque
+from repro.sim.engine import Environment
+from repro.sim.resources import Mailbox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class Place:
+    """Runtime state of one node."""
+
+    def __init__(self, env: Environment, place_id: int, spec: ClusterSpec) -> None:
+        self.env = env
+        self.place_id = place_id
+        self.spec = spec
+        self.shared = SharedDeque(env, place_id)
+        #: Incoming task closures shipped by remote places (chunk extras,
+        #: lifeline pushes, tasks spawned remotely for this home place).
+        self.mailbox = Mailbox(env, name=f"mailbox-p{place_id}")
+        self.workers: List["Worker"] = []
+        #: Number of activities currently executing on this place's workers.
+        self.running_activities = 0
+        #: The paper's per-place ``active`` flag: set false after n
+        #: consecutive failed steal attempts (n = workers per place),
+        #: set true when an activity is assigned to the place.
+        self.active = True
+        #: Consecutive failed steal attempts by this place's workers.
+        self.failed_steals = 0
+        #: Round-robin cursor for mapping tasks onto private deques.
+        self._rr_cursor = 0
+        #: Idle workers parked waiting for work to arrive at this place.
+        self._work_waiters: List = []
+
+    # -- load status (Algorithm 1 inputs) ----------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Worker threads on this place."""
+        return len(self.workers)
+
+    def queued_private(self) -> int:
+        """Tasks waiting in this place's private deques."""
+        return sum(len(w.deque) for w in self.workers)
+
+    def queued_total(self) -> int:
+        """All tasks queued at this place (private + shared + mailbox)."""
+        return self.queued_private() + len(self.shared) + len(self.mailbox)
+
+    def size(self) -> int:
+        """The paper's ``size(p)``: demand at the place (running + queued)."""
+        return self.running_activities + self.queued_total()
+
+    def spares(self) -> int:
+        """Spare capacity: idle workers with nothing queued privately.
+
+        A worker that is searching but already has work directed at its
+        private deque is *not* spare — Algorithm 1's private-deque
+        redirection should fill each idle worker once, then overflow
+        flexible tasks to the shared deque.
+        """
+        return sum(1 for w in self.workers
+                   if not w.executing and len(w.deque) == 0)
+
+    def is_idle(self) -> bool:
+        """No running activities — every worker is searching or stopped."""
+        return self.running_activities == 0
+
+    def is_under_utilized(self) -> bool:
+        """Room for additional parallel computation (``size < max_threads``)."""
+        return self.size() < self.spec.max_threads
+
+    # -- status transitions (paper §VI-B) -----------------------------------
+    def note_assignment(self) -> None:
+        """An activity was assigned here: the place is active again."""
+        self.active = True
+        self.failed_steals = 0
+
+    def note_failed_steal(self) -> None:
+        """A local worker failed a steal round; after ``n_workers``
+        consecutive failures the place is marked inactive."""
+        self.failed_steals += 1
+        if self.failed_steals >= max(1, self.n_workers):
+            self.active = False
+
+    # -- idle-worker wakeup -----------------------------------------------------
+    def work_event(self):
+        """Event an idle worker parks on; triggered by :meth:`notify_work`."""
+        from repro.sim.events import Event  # local import avoids a cycle
+        ev = Event(self.env)
+        self._work_waiters.append(ev)
+        return ev
+
+    def notify_work(self) -> None:
+        """Wake every parked worker (new work arrived at this place)."""
+        waiters, self._work_waiters = self._work_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+
+    # -- private-deque mapping helpers ----------------------------------------
+    def pick_private_deque(self) -> PrivateDeque:
+        """Choose a private deque for a directly-mapped task.
+
+        Prefers an idle worker ("mapping a task ... directly to an idle
+        worker eliminates the need for that worker to contend ... to steal
+        from the local shared deque", §V-B1), falling back to round-robin.
+        """
+        idle = [w for w in self.workers if not w.executing]
+        if idle:
+            # Deterministic: lowest-id idle worker with the shortest deque.
+            best = min(idle, key=lambda w: (len(w.deque), w.worker_index))
+            return best.deque
+        self._rr_cursor = (self._rr_cursor + 1) % self.n_workers
+        return self.workers[self._rr_cursor].deque
+
+    def least_loaded_deque(self) -> PrivateDeque:
+        """Private deque with the fewest queued tasks."""
+        best = min(self.workers, key=lambda w: (len(w.deque), w.worker_index))
+        return best.deque
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Place {self.place_id} running={self.running_activities} "
+                f"queued={self.queued_total()} active={self.active}>")

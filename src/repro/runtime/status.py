@@ -1,0 +1,63 @@
+"""Cluster-wide load-status board (the paper's §VI-B status objects).
+
+"The scheduler creates an object at each place to maintain information
+that helps it to identify idle or lightly-loaded places", accessed through
+PlaceLocalHandles.  The board tracks which places currently *advertise
+surplus* — a non-empty shared deque — so a thief only sends steal requests
+to places that actually have stealable work, instead of blind-polling the
+whole cluster.
+
+Reading the board is modelled as free (the real implementation piggybacks
+status on existing traffic and caches it locally); what is counted is every
+actual steal request, reply, and data transfer.  Races remain possible: a
+place may be emptied between the board read and the request's arrival, in
+which case the thief pays a failed round trip exactly as on hardware.
+
+The randomized and lifeline schedulers deliberately do NOT consult the
+board — their defining property (blind random victim selection, §X) is
+what the lifeline mechanism exists to repair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class StatusBoard:
+    """Tracks which places advertise stealable surplus."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._surplus: Set[int] = set()
+        self._waiters: List[Event] = []
+
+    def advertise(self, place_id: int) -> None:
+        """Mark a place as having surplus; wakes parked thieves."""
+        if place_id in self._surplus:
+            return
+        self._surplus.add(place_id)
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(place_id)
+
+    def retract(self, place_id: int) -> None:
+        """Mark a place as having no surplus. Idempotent."""
+        self._surplus.discard(place_id)
+
+    def has_surplus(self, place_id: int) -> bool:
+        """Whether ``place_id`` currently advertises surplus."""
+        return place_id in self._surplus
+
+    def surplus_places(self, exclude: int) -> List[int]:
+        """Advertising places other than ``exclude``, id-sorted."""
+        return sorted(p for p in self._surplus if p != exclude)
+
+    def surplus_event(self) -> Event:
+        """Event that triggers the next time any place advertises."""
+        ev = Event(self.env)
+        self._waiters.append(ev)
+        return ev

@@ -1,0 +1,159 @@
+"""The worker: one simulated hardware thread executing activities.
+
+A worker runs an endless loop (a simulated process):
+
+1. pop the own private deque (LIFO — most recently created task first);
+2. otherwise ask the scheduler policy to find work (mailbox probe,
+   co-located steal, shared deque, distributed steal — policy-specific);
+3. execute the task: run its Python body, price its memory behaviour,
+   spawn its children, and advance simulated time by the total cost;
+4. if no work was found anywhere, record a failed round and back off
+   (exponentially, capped), waking early if work arrives at the place or
+   the computation terminates.
+
+Busy time is split into *task* cycles (executing activities) and *overhead*
+cycles (searching/stealing); Fig. 7's utilization counts both, matching the
+paper's observation that stealing itself raises measured node utilization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.cluster.cache import LruCache
+from repro.runtime.deques import PrivateDeque
+from repro.runtime.task import Task, TaskContext, TaskState
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.place import Place
+    from repro.runtime.runtime import SimRuntime
+
+
+class Worker:
+    """One worker thread at a place."""
+
+    def __init__(self, runtime: "SimRuntime", place: "Place",
+                 worker_index: int) -> None:
+        self.runtime = runtime
+        self.place = place
+        self.worker_index = worker_index
+        self.deque = PrivateDeque(place.place_id, worker_index)
+        self.cache = LruCache(runtime.costs.l1_capacity_lines)
+        self.executing = False
+        self.task_cycles = 0.0
+        self.overhead_cycles = 0.0
+        self.tasks_run = 0
+        self._backoff = runtime.costs.idle_backoff
+
+    @property
+    def wid(self) -> tuple[int, int]:
+        """Globally unique (place, worker) id pair."""
+        return (self.place.place_id, self.worker_index)
+
+    def charge_overhead(self, cycles: float) -> None:
+        """Account CPU-bound scheduling work (deque ops, steal service).
+
+        Time a thief spends *waiting* on the interconnect is simulated but
+        deliberately not charged here, so Fig. 7's utilization reflects CPU
+        activity rather than network latency.
+        """
+        self.overhead_cycles += cycles
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> Generator[Event, object, None]:
+        """The worker's simulated process body."""
+        rt = self.runtime
+        env = rt.env
+        costs = rt.costs
+        while not rt.done_gate.is_open:
+            yield env.timeout(costs.private_deque_op)
+            self.charge_overhead(costs.private_deque_op)
+            task = self.deque.pop()
+            if task is None:
+                task = yield from rt.scheduler.find_work(self)
+            if task is not None:
+                self._backoff = costs.idle_backoff
+                yield from self.execute(task)
+                continue
+            # Nothing anywhere: failed round, then back off.
+            self.place.note_failed_steal()
+            rt.stats.steals.failed_rounds += 1
+            work_ev = self.place.work_event()
+            wake = env.any_of([
+                rt.done_gate.wait(),
+                work_ev,
+                env.timeout(self._backoff),
+                *rt.scheduler.park_events(self),
+            ])
+            self._backoff = min(self._backoff * 2, costs.max_idle_backoff)
+            woke_on = yield wake
+            if woke_on is work_ev:
+                # Work arrived at this place: search eagerly again.
+                self._backoff = costs.idle_backoff
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, task: Task) -> Generator[Event, object, None]:
+        """Run one activity to completion in simulated time."""
+        rt = self.runtime
+        env = rt.env
+        costs = rt.costs
+        place = self.place
+        task.state = TaskState.RUNNING
+        task.exec_place = place.place_id
+        task.exec_worker = self.worker_index
+        if (rt.scheduler.enforces_locality and not task.is_flexible
+                and task.exec_place != task.home_place):
+            from repro.errors import SchedulerError
+            raise SchedulerError(
+                f"locality violation: sensitive task {task.task_id} "
+                f"(home p{task.home_place}) executing at "
+                f"p{task.exec_place} under {rt.scheduler.name}")
+        task.start_time = env.now
+        place.running_activities += 1
+        place.note_assignment()
+        self.executing = True
+        try:
+            cost = task.work
+            remote = task.exec_place != task.home_place
+            # An encapsulating task (§II condition d) carried its data in
+            # the closure: the blocks it touches become persistent local
+            # replicas, paid for once — wherever the task runs (a bucket
+            # merge *gathers* even at home).  Every other task is left
+            # with X10 `at` semantics: per-access remote references priced
+            # in :meth:`MemoryManager.access`.
+            if task.encapsulates:
+                for block in task.unique_blocks():
+                    cost += rt.memory.migrate(block, place.place_id,
+                                              warm_cache=self.cache)
+            # Run the real body; children are collected, not yet mapped.
+            ctx = TaskContext(rt, task, place.place_id, self.worker_index)
+            if task.body is not None:
+                task.body(ctx)
+            children = ctx.drain_children()
+            # Price every declared memory access at the executing place.
+            for block in task.reads:
+                cost += rt.memory.access(place.place_id, self.cache, block)
+            for block in task.writes:
+                cost += rt.memory.access(place.place_id, self.cache, block,
+                                         write=True)
+            # Help-first: children become available as the parent continues.
+            for child in children:
+                cost += costs.spawn_overhead
+                cost += rt.scheduler.mapping_cost(child)
+                rt.spawn(child, from_place=place.place_id,
+                         finish=task.finish, from_worker=self)
+            # Results that must explicitly travel back after a remote
+            # execution (e.g. the Turing-ring inner population update).
+            if remote:
+                for block in task.copy_back:
+                    cost += rt.memory.copy_back(block, place.place_id)
+            yield env.timeout(cost)
+        finally:
+            self.executing = False
+            place.running_activities -= 1
+        task.state = TaskState.DONE
+        task.end_time = env.now
+        self.task_cycles += env.now - task.start_time
+        self.tasks_run += 1
+        rt.task_finished(task, self)

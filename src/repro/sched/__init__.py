@@ -1,0 +1,51 @@
+"""Work-stealing scheduler policies.
+
+- :class:`DistWS` — the paper's Algorithm 1 (selective locality-aware
+  distributed stealing);
+- :class:`X10WS` — X10 2.2 baseline (intra-place only);
+- :class:`DistWSNS` — non-selective control (round-robin deque mapping);
+- :class:`RandomWS` — unorganized randomized distributed stealing;
+- :class:`LifelineWS` — lifeline-graph load balancing (UTS comparator).
+"""
+
+from repro.sched.adaptive import AdaptiveDistWS
+from repro.sched.base import Scheduler
+from repro.sched.distws import DistWS
+from repro.sched.distws_ns import DistWSNS
+from repro.sched.lifeline import LifelineWS, lifeline_graph
+from repro.sched.randomws import RandomWS
+from repro.sched.x10ws import X10WS
+
+#: Registry used by the harness and CLI entry points.
+SCHEDULERS = {
+    "X10WS": X10WS,
+    "DistWS": DistWS,
+    "DistWS-NS": DistWSNS,
+    "RandomWS": RandomWS,
+    "Lifeline": LifelineWS,
+    "AdaptiveDistWS": AdaptiveDistWS,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "AdaptiveDistWS",
+    "DistWS",
+    "DistWSNS",
+    "LifelineWS",
+    "RandomWS",
+    "SCHEDULERS",
+    "Scheduler",
+    "X10WS",
+    "lifeline_graph",
+    "make_scheduler",
+]

@@ -1,0 +1,235 @@
+"""Scheduler policy interface.
+
+A scheduler owns two decisions:
+
+- **mapping** (:meth:`Scheduler.map_task`): which deque a freshly spawned
+  task lands in (Algorithm 1 lines 1-8 for DistWS);
+- **work finding** (:meth:`Scheduler.find_work`): what an idle worker does
+  after its own private deque came up empty (Algorithm 1 lines 9-29).
+
+``find_work`` is a *generator* run inside the worker's simulated process:
+it yields timeouts / lock acquisitions to consume simulated time and
+returns the acquired :class:`~repro.runtime.task.Task` (or ``None``).
+
+The shared machinery for the three steal tiers (mailbox probe, co-located
+victims, local shared deque, remote shared deques) lives here so concrete
+policies compose the tiers rather than re-implement them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from repro.cluster.network import MSG_STEAL_REPLY, MSG_STEAL_REQUEST, MSG_TASK_SHIP
+from repro.errors import SchedulerError
+from repro.runtime.task import Task
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import SimRuntime
+    from repro.runtime.worker import Worker
+
+FindWork = Generator[Event, object, Optional[Task]]
+
+
+class Scheduler(ABC):
+    """Base class for all work-stealing policies."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+    #: Tasks taken per successful *distributed* steal (§V-B3: chunk of 2).
+    remote_chunk_size: int = 2
+    #: Whether the policy ever steals across places.
+    distributed: bool = True
+
+    def __init__(self) -> None:
+        self.rt: Optional["SimRuntime"] = None
+
+    def bind(self, runtime: "SimRuntime") -> None:
+        """Attach the policy to a runtime (called once per run)."""
+        self.rt = runtime
+
+    # -- mapping -----------------------------------------------------------
+    @abstractmethod
+    def map_task(self, task: Task, from_worker: "Worker | None" = None) -> None:
+        """Push ``task`` onto a deque at its home place.
+
+        ``from_worker`` is the spawning worker, when the spawn happens
+        inside a running activity; help-first mapping pushes same-place
+        children onto the spawner's own deque so peers must *steal* them.
+        """
+
+    def mapping_cost(self, task: Task) -> float:
+        """Cycles the spawning worker pays to map one child task."""
+        return self.rt.costs.private_deque_op
+
+    def _push_shared(self, task: Task) -> None:
+        """Push onto the home place's shared deque and advertise surplus."""
+        place = self.rt.places[task.home_place]
+        place.shared.push(task)
+        self.rt.board.advertise(place.place_id)
+
+    def park_events(self, worker: "Worker") -> list:
+        """Extra wake-up events for a worker about to park idle.
+
+        Distributed policies that consult the status board return its
+        surplus event so a starving worker wakes as soon as any place
+        advertises stealable work.
+        """
+        if self.distributed and self.uses_status_board:
+            return [self.rt.board.surplus_event()]
+        return []
+
+    #: Whether the policy consults the status board before sending steal
+    #: requests (DistWS family: yes; blind random / lifeline: no).
+    uses_status_board: bool = True
+
+    #: Whether the policy *guarantees* that locality-sensitive tasks
+    #: execute at their home place (§X-A).  When True, the worker enforces
+    #: the guarantee at execution time — any violation is a scheduler bug
+    #: and aborts the run.  The non-selective control sets this False.
+    enforces_locality: bool = True
+
+    def _push_private(self, task: Task,
+                      from_worker: "Worker | None" = None) -> None:
+        """Default private-deque placement (help-first).
+
+        A locally spawned task goes onto the spawning worker's own deque;
+        a task arriving from elsewhere (root spawn, cross-place async)
+        goes to the place's chosen private deque.
+        """
+        place = self.rt.places[task.home_place]
+        if (from_worker is not None
+                and from_worker.place.place_id == task.home_place):
+            from_worker.deque.push(task)
+        else:
+            place.pick_private_deque().push(task)
+
+    # -- work finding ------------------------------------------------------------
+    @abstractmethod
+    def find_work(self, worker: "Worker") -> FindWork:
+        """Acquire a task for an idle worker, consuming simulated time."""
+
+    # -- shared steal tiers -------------------------------------------------------
+    def _probe_mailbox(self, worker: "Worker") -> Optional[Task]:
+        """Tier 0: take a task shipped to this place from the network."""
+        task = worker.place.mailbox.try_get()
+        if task is not None:
+            self.rt.stats.steals.mailbox_hits += 1
+        return task  # type: ignore[return-value]
+
+    def _steal_colocated(self, worker: "Worker") -> FindWork:
+        """Tier 1: steal one task from a co-located worker's private deque."""
+        rt = self.rt
+        env = rt.env
+        st = rt.stats.steals
+        peers = [w for w in worker.place.workers if w is not worker]
+        order = rt.rngs.stream("victims", *worker.wid).permutation(len(peers))
+        for idx in order:
+            victim = peers[int(idx)]
+            st.local_attempts += 1
+            yield env.timeout(rt.costs.local_steal_attempt)
+            worker.charge_overhead(rt.costs.local_steal_attempt)
+            task = victim.deque.steal()
+            if task is not None:
+                yield env.timeout(rt.costs.local_steal_success)
+                worker.charge_overhead(rt.costs.local_steal_success)
+                st.local_hits += 1
+                return task
+        return None
+
+    def _steal_local_shared(self, worker: "Worker") -> FindWork:
+        """Tier 2: take the oldest task from the place's own shared deque."""
+        rt = self.rt
+        env = rt.env
+        shared = worker.place.shared
+        rt.stats.steals.shared_local_attempts += 1
+        yield shared.lock.acquire()
+        try:
+            yield env.timeout(rt.costs.shared_deque_op)
+            worker.charge_overhead(rt.costs.shared_deque_op)
+            task = shared.take_oldest(remote=False)
+            if len(shared) == 0:
+                rt.board.retract(shared.place_id)
+        finally:
+            shared.lock.release()
+        if task is not None:
+            rt.stats.steals.shared_local_hits += 1
+        return task
+
+    def _steal_remote(self, worker: "Worker",
+                      victim_order: List[int]) -> FindWork:
+        """Tier 3: distributed steal from remote shared deques.
+
+        Visits victims in ``victim_order``; between attempts, re-probes the
+        home mailbox ("In case of a failed distributed steal, the thief
+        first probes the network to see if any remote task has spawned
+        tasks at its home place", §V-B2).  A hit takes a chunk of
+        :attr:`remote_chunk_size` tasks: the first is returned, the rest
+        are deposited in the home place's mailbox for peer workers.
+        """
+        rt = self.rt
+        env = rt.env
+        costs = rt.costs
+        st = rt.stats.steals
+        home = worker.place
+        for pj in victim_order:
+            if pj == home.place_id:
+                raise SchedulerError("remote steal targeting own place")
+            task = self._probe_mailbox(worker)
+            if task is not None:
+                return task
+            victim = rt.places[pj]
+            if self.uses_status_board and not rt.board.has_surplus(pj):
+                # The §VI-B status object says the place has nothing to
+                # steal: skip it without spending a round trip.
+                continue
+            st.remote_attempts += 1
+            # Request message travels to the victim...
+            yield env.timeout(rt.network.send(
+                home.place_id, pj, 64, MSG_STEAL_REQUEST))
+            # ...the thief locks the victim's shared deque remotely...
+            yield victim.shared.lock.acquire()
+            try:
+                yield env.timeout(costs.remote_steal_service)
+                worker.charge_overhead(costs.remote_steal_service)
+                chunk = victim.shared.take_chunk(
+                    self.remote_chunk_size, remote=True)
+                if len(victim.shared) == 0:
+                    rt.board.retract(pj)
+            finally:
+                victim.shared.lock.release()
+            if not chunk:
+                yield env.timeout(rt.network.send(
+                    pj, home.place_id, 64, MSG_STEAL_REPLY))
+                continue
+            st.remote_hits += 1
+            st.remote_tasks_received += len(chunk)
+            # Ship each stolen closure home (closure creation + transfer).
+            delay = 0.0
+            for t in chunk:
+                delay += costs.closure_create
+                worker.charge_overhead(costs.closure_create)
+                delay += rt.network.send(
+                    pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
+            yield env.timeout(delay)
+            first, rest = chunk[0], chunk[1:]
+            for t in rest:
+                home.mailbox.put(t)
+            if rest:
+                home.notify_work()
+            return first
+        return None
+
+    # -- victim orders ---------------------------------------------------------
+    def _random_place_order(self, worker: "Worker") -> List[int]:
+        """All other places in a per-worker random order."""
+        rt = self.rt
+        others = [p for p in range(rt.spec.n_places)
+                  if p != worker.place.place_id]
+        rng = rt.rngs.stream("place-victims", *worker.wid)
+        return [others[int(i)] for i in rng.permutation(len(others))]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Scheduler {self.name}>"

@@ -1,0 +1,110 @@
+"""DistWS: the paper's contribution (Algorithm 1).
+
+Mapping (lines 1-8):
+
+- locality-sensitive task -> a private deque at its home place;
+- locality-flexible task  -> a private deque if the home place is inactive,
+  has spare workers, or sits below its thread bound (``¬isActive(p) or
+  spares > 0 or size(p) < max_threads``); otherwise the place's shared
+  deque, making it available for distributed stealing.
+
+Work finding (lines 9-29), in strict order:
+
+1. own private deque (done by the worker before calling the policy);
+2. probe the network for tasks shipped to this place;
+3. steal from co-located workers (single task, LIFO victim deque's old end);
+4. steal from the local shared deque (FIFO — the oldest, coarsest task);
+5. distributed stealing: visit remote places' shared deques, chunk of 2,
+   re-probing the home mailbox between failed attempts.
+
+The selectivity guarantee — a sensitive task can never leave its place —
+is structural: sensitive tasks only ever enter private deques, and remote
+thieves only ever touch shared deques.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.task import Task
+from repro.sched.base import FindWork, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class DistWS(Scheduler):
+    """Selective locality-aware distributed work stealing (Algorithm 1)."""
+
+    name = "DistWS"
+    remote_chunk_size = 2
+    distributed = True
+
+    def __init__(self, remote_chunk_size: int = 2,
+                 shared_fifo: bool = True,
+                 victim_order: str = "random") -> None:
+        super().__init__()
+        self.remote_chunk_size = remote_chunk_size
+        #: Ablation knob: ``False`` makes steals take the *newest* shared
+        #: task instead of the oldest (benchmarks/test_ablation_deques).
+        self.shared_fifo = shared_fifo
+        #: Victim traversal order for distributed steals: ``"random"``
+        #: (the paper's default — on a fully connected cluster the order
+        #: "does not profoundly impact the total cost", §I) or
+        #: ``"nearest"`` (footnote 2's recommendation for non-fully
+        #: connected topologies like rings).
+        if victim_order not in ("random", "nearest"):
+            raise ValueError(f"unknown victim_order {victim_order!r}")
+        self.victim_order = victim_order
+
+    # -- mapping (Algorithm 1 lines 1-8) ------------------------------------
+    def map_task(self, task: Task, from_worker=None) -> None:
+        place = self.rt.places[task.home_place]
+        if not task.is_flexible:
+            self._push_private(task, from_worker)
+            return
+        if (not place.active) or place.spares() > 0 or place.is_under_utilized():
+            # Idle/under-utilized place: keep the flexible task local to
+            # prioritize the place's own cores (§V-B1 benefit i/ii).
+            # pick_private_deque prefers an *idle* worker, eliminating the
+            # steal that worker would otherwise need.
+            place.pick_private_deque().push(task)
+        else:
+            if not self.shared_fifo:
+                # LIFO-shared ablation: push at the steal end instead.
+                place.shared.push_front(task)
+                self.rt.board.advertise(place.place_id)
+            else:
+                self._push_shared(task)
+
+    def mapping_cost(self, task: Task) -> float:
+        costs = self.rt.costs
+        if not task.is_flexible:
+            return costs.private_deque_op
+        # Consulting the place-status object plus the (possibly shared)
+        # deque operation.
+        place = self.rt.places[task.home_place]
+        base = costs.locality_mapping_overhead
+        if (not place.active) or place.spares() > 0 or place.is_under_utilized():
+            return base + costs.private_deque_op
+        return base + costs.shared_deque_op
+
+    # -- work finding (Algorithm 1 lines 9-29) ----------------------------------
+    def find_work(self, worker: "Worker") -> FindWork:
+        task = self._probe_mailbox(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_colocated(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_local_shared(worker)
+        if task is not None:
+            return task
+        if self.rt.spec.n_places > 1:
+            if self.victim_order == "nearest":
+                order = self.rt.spec.neighbours_by_distance(
+                    worker.place.place_id)
+            else:
+                order = self._random_place_order(worker)
+            task = yield from self._steal_remote(worker, order)
+        return task

@@ -1,0 +1,68 @@
+"""DistWS-NS: the non-selective control (§VIII.3).
+
+Identical machinery to DistWS — private deques per worker, one shared deque
+per place, the same four-tier steal order, chunked distributed steals — but
+the locality annotation is *ignored*: tasks are "mapped among the private
+and shared deques in a round robin fashion, so that there are opportunities
+for both local and remote execution of tasks".
+
+The consequence the paper measures: locality-sensitive tasks travel across
+nodes, paying fine-grained remote references and result copy-backs instead
+of one bulk migration, which inflates L1 miss rates (Table II), message
+counts (Table III), and makespan (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.runtime.task import Task
+from repro.sched.base import FindWork, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class DistWSNS(Scheduler):
+    """Non-selective variant: any task may be stolen across places."""
+
+    name = "DistWS-NS"
+    remote_chunk_size = 2
+    distributed = True
+    #: By design: any task — sensitive included — may travel.
+    enforces_locality = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rr: Dict[int, int] = {}
+
+    def map_task(self, task: Task, from_worker=None) -> None:
+        place = self.rt.places[task.home_place]
+        turn = self._rr.get(place.place_id, 0)
+        self._rr[place.place_id] = turn + 1
+        if turn % 2 == 0:
+            self._push_private(task, from_worker)
+        else:
+            self._push_shared(task)
+
+    def mapping_cost(self, task: Task) -> float:
+        costs = self.rt.costs
+        turn = self._rr.get(self.rt.places[task.home_place].place_id, 0)
+        # Alternate the same way map_task will: even turns go private.
+        return (costs.private_deque_op if turn % 2 == 0
+                else costs.shared_deque_op)
+
+    def find_work(self, worker: "Worker") -> FindWork:
+        task = self._probe_mailbox(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_colocated(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_local_shared(worker)
+        if task is not None:
+            return task
+        if self.rt.spec.n_places > 1:
+            task = yield from self._steal_remote(
+                worker, self._random_place_order(worker))
+        return task

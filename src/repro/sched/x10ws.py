@@ -1,0 +1,41 @@
+"""X10WS: the baseline X10 2.2 scheduler.
+
+Help-first work stealing that "operates only within a place" (§III):
+
+- every task — the locality annotation is ignored — maps to a private
+  deque at its home place;
+- an idle worker steals only from co-located workers; there is no shared
+  deque traffic and no cross-place stealing, so inter-node imbalance can
+  never be repaired (the effect Fig. 7 shows as ~35% utilization
+  disparity).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.task import Task
+from repro.sched.base import FindWork, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class X10WS(Scheduler):
+    """Intra-place help-first work stealing (the paper's baseline)."""
+
+    name = "X10WS"
+    distributed = False
+
+    def map_task(self, task: Task, from_worker=None) -> None:
+        self._push_private(task, from_worker)
+
+    def find_work(self, worker: "Worker") -> FindWork:
+        # Remote asyncs still have to arrive somehow: X10 delivers the
+        # shipped activity at its destination place; the mailbox models
+        # that delivery path even though X10WS never steals through it.
+        task = self._probe_mailbox(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_colocated(worker)
+        return task

@@ -1,0 +1,212 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the event heap and the simulated clock.  Time is a
+float measured in *cycles* throughout the library (the cluster cost model
+converts cycles to milliseconds for reporting).
+
+Determinism: events scheduled for the same timestamp are processed in the
+order they were scheduled (a monotonically increasing sequence number breaks
+ties), so a given program produces bit-identical traces across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Environment:
+    """Discrete-event execution environment with a deterministic clock."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_processes = 0
+
+    # -- clock & scheduling -------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in cycles."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered ``event`` to be processed ``delay`` from now."""
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` cycles in the future."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Composite event triggering on the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Composite event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> "Process":
+        """Start a simulated process from ``generator``."""
+        return Process(self, generator)
+
+    # -- main loop ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the heap."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event heap drains.
+            A float — run until the clock reaches that time.
+            An :class:`Event` — run until that event has been processed and
+            return its value.
+
+        Raises
+        ------
+        DeadlockError
+            If ``until`` is an event, the heap drains, and the event never
+            triggered: no remaining activity can ever wake the waiters.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("until lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise DeadlockError(
+                "event queue drained before the 'until' event triggered; "
+                f"{self._active_processes} process(es) still alive")
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the heap is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator of events.
+
+    A Process is itself an :class:`Event` that triggers when the generator
+    returns (payload: the return value) or raises (failure).  This allows
+    processes to wait for each other by yielding a Process.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, env: Environment, generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        env._active_processes += 1
+        # Kick off the process at the current simulated time.
+        bootstrap = Event(env)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Stop the pending resume; deliver the interrupt instead.
+            try:
+                target.callbacks.remove(self._resume)  # type: ignore[union-attr]
+            except (ValueError, AttributeError):
+                pass
+        self._waiting_on = None
+        wake = Event(self.env)
+        wake.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        wake.succeed()
+
+    # -- internals ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._advance(lambda: self.generator.send(event._value))
+        else:
+            self._advance(lambda: self.generator.throw(event._value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._advance(lambda: self.generator.throw(exc))
+
+    def _advance(self, step) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.env._active_processes -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_processes -= 1
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.env._active_processes -= 1
+            err = SimulationError(
+                f"process yielded {target!r}; processes must yield Events")
+            self.fail(err)
+            return
+        if target.processed:
+            self.env._active_processes -= 1
+            self.fail(SimulationError("process yielded an already-processed event"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,156 @@
+"""Simulated synchronization resources.
+
+:class:`SimLock` models the mutex that guards a shared deque: acquisition is
+FIFO, and contention shows up as simulated waiting time, which is exactly the
+cost the paper attributes to shared-deque manipulation ("a local worker might
+end up waiting for thousands of cycles", §V).
+
+:class:`Gate` is a level-triggered condition used for termination signalling:
+processes wait until the gate opens; waiting on an already-open gate resumes
+immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class SimLock:
+    """A FIFO mutex in simulated time.
+
+    Usage inside a process::
+
+        yield lock.acquire()
+        try:
+            ... critical section (yield timeouts for hold time) ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, env: Environment, name: str = "lock") -> None:
+        self.env = env
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+        #: Total number of acquisitions that had to wait (contention events).
+        self.contended_acquires = 0
+        #: Total acquisitions.
+        self.total_acquires = 0
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._locked
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes currently waiting for the lock."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once the caller holds the lock."""
+        ev = Event(self.env)
+        self.total_acquires += 1
+        if not self._locked and not self._waiters:
+            self._locked = True
+            ev.succeed(self)
+        else:
+            self.contended_acquires += 1
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns ``True`` on success."""
+        if self._locked or self._waiters:
+            return False
+        self._locked = True
+        self.total_acquires += 1
+        return True
+
+    def release(self) -> None:
+        """Release the lock, handing it to the oldest waiter if any."""
+        if not self._locked:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed(self)  # lock stays held, ownership transfers
+        else:
+            self._locked = False
+
+
+class Gate:
+    """A level-triggered condition: closed until :meth:`open` is called."""
+
+    def __init__(self, env: Environment, name: str = "gate") -> None:
+        self.env = env
+        self.name = name
+        self._open = False
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the gate has been opened."""
+        return self._open
+
+    def wait(self) -> Event:
+        """Event that triggers when the gate opens (immediately if open)."""
+        ev = Event(self.env)
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        """Open the gate, waking every waiter. Idempotent."""
+        if self._open:
+            return
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+
+class Mailbox:
+    """An unbounded FIFO channel between simulated processes.
+
+    Used by the runtime for the "probe the network for incoming tasks" step
+    of Algorithm 1: remote places push task closures into the home place's
+    mailbox and idle workers drain it.
+    """
+
+    def __init__(self, env: Environment, name: str = "mailbox") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def try_get(self) -> Optional[object]:
+        """Non-blocking take; ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def get(self) -> Event:
+        """Event that triggers with the next item (blocks until one arrives)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,148 @@
+"""Tests for trace recording, critical-path analysis, and exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ClusterSpec, DistWS, SimRuntime
+from repro.analysis import (
+    TraceRecorder,
+    critical_path,
+    experiment_to_csv,
+    experiment_to_json,
+    place_timeline,
+    stats_to_dict,
+    stats_to_json,
+    steal_flow,
+    trace_to_json,
+    worker_occupancy,
+)
+from repro.apgas import Apgas
+from repro.errors import ConfigError
+
+
+def traced_run(n_leaves=12, work=1_000_000, flexible=True):
+    spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, DistWS(), seed=1)
+    rec = TraceRecorder(rt)
+
+    def program(rt):
+        ap = Apgas(rt)
+
+        def driver(ctx):
+            for i in range(n_leaves):
+                ctx.spawn(None, place=0, work=work,
+                          flexible=flexible, label="leaf")
+
+        ap.async_at(0, driver, work=10_000, label="driver")
+
+    stats = rt.run(program)
+    return rec.finalize(), stats
+
+
+class TestTraceRecorder:
+    def test_records_every_task(self):
+        trace, stats = traced_run()
+        assert len(trace.tasks) == stats.tasks_executed == 13
+        assert trace.makespan == stats.makespan_cycles
+
+    def test_attach_after_run_rejected(self):
+        spec = ClusterSpec(n_places=1, workers_per_place=1, max_threads=2)
+        rt = SimRuntime(spec, DistWS(), seed=1)
+
+        def program(rt):
+            Apgas(rt).async_at(0, None, work=100, label="t")
+
+        rt.run(program)
+        with pytest.raises(ConfigError):
+            TraceRecorder(rt)
+
+    def test_parent_edges(self):
+        trace, _ = traced_run()
+        by_label = {}
+        for t in trace.tasks:
+            by_label.setdefault(t.label, []).append(t)
+        driver = by_label["driver"][0]
+        assert driver.parent_id is None
+        for leaf in by_label["leaf"]:
+            assert leaf.parent_id == driver.task_id
+            assert leaf.spawn_time >= driver.start_time
+            assert leaf.queue_delay >= 0
+
+    def test_busy_profile_bounds(self):
+        trace, _ = traced_run()
+        profile = trace.place_busy_profile(buckets=10)
+        assert len(profile) == 2
+        for row in profile:
+            assert len(row) == 10
+            assert all(0.0 <= v <= 1.0 for v in row)
+
+
+class TestCriticalPath:
+    def test_work_and_span(self):
+        trace, stats = traced_run()
+        cp = critical_path(trace)
+        assert cp.total_work == pytest.approx(
+            sum(t.duration for t in trace.tasks))
+        assert cp.span <= cp.total_work
+        # Makespan can never beat the span.
+        assert trace.makespan >= cp.span * 0.999
+        assert cp.parallelism >= 1.0
+        assert 0 < cp.schedule_efficiency <= 1.0
+
+    def test_chain_is_connected(self):
+        trace, _ = traced_run()
+        cp = critical_path(trace)
+        for parent, child in zip(cp.chain, cp.chain[1:]):
+            assert child.parent_id == parent.task_id
+
+    def test_describe_renders(self):
+        trace, _ = traced_run()
+        text = critical_path(trace).describe()
+        assert "parallelism" in text
+        assert "critical chain" in text
+
+
+class TestRenderers:
+    def test_place_timeline(self):
+        trace, _ = traced_run()
+        art = place_timeline(trace, width=30, title="t")
+        assert art.count("|") == 4  # two places, two bars each
+        with pytest.raises(ConfigError):
+            place_timeline(trace, width=2)
+
+    def test_steal_flow_counts_remote(self):
+        trace, stats = traced_run(n_leaves=24, work=2_000_000)
+        art = steal_flow(trace)
+        assert str(stats.tasks_executed_remote) in art
+
+    def test_worker_occupancy(self):
+        trace, _ = traced_run()
+        art = worker_occupancy(trace, place=0, width=20)
+        assert art.count("|") == 4
+        with pytest.raises(ConfigError):
+            worker_occupancy(trace, place=9)
+
+
+class TestExports:
+    def test_stats_json_round_trip(self):
+        _, stats = traced_run()
+        data = json.loads(stats_to_json(stats))
+        assert data["tasks"]["executed"] == 13
+        assert data == stats_to_dict(stats)
+
+    def test_trace_json(self):
+        trace, _ = traced_run()
+        data = json.loads(trace_to_json(trace))
+        assert len(data["tasks"]) == 13
+        assert data["n_places"] == 2
+
+    def test_experiment_exports(self):
+        from repro.harness.paper import ExperimentOutput
+        out = ExperimentOutput("x", ["a", "b"], [[1, 2], [3, 4]], "r")
+        csv_text = experiment_to_csv(out)
+        assert csv_text.splitlines()[0] == "a,b"
+        assert json.loads(experiment_to_json(out))["rows"] == [[1, 2],
+                                                               [3, 4]]

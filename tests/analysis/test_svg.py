@@ -1,0 +1,92 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import _nice_max, grouped_bar_chart, line_chart
+from repro.errors import ConfigError
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceMax:
+    @pytest.mark.parametrize("value,expected", [
+        (0.5, 1.0), (1.0, 1.0), (1.5, 2.0), (4.0, 5.0), (7.0, 10.0),
+        (42.0, 50.0), (128.0, 200.0), (0.0, 1.0),
+    ])
+    def test_rounds_up_tidily(self, value, expected):
+        assert _nice_max(value) == expected
+        assert _nice_max(value) >= value
+
+
+class TestLineChart:
+    def test_valid_svg_document(self):
+        svg = line_chart([1, 2, 4], {"X10WS": [1, 2, 3],
+                                     "DistWS": [1, 2.5, 4]},
+                         title="Fig. 5", x_label="workers",
+                         y_label="speedup")
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+        text = svg
+        assert "Fig. 5" in text
+        assert text.count("<polyline") == 2
+        assert "X10WS" in text and "DistWS" in text
+
+    def test_points_per_series(self):
+        svg = line_chart([1, 2, 3, 4], {"a": [1, 2, 3, 4]})
+        assert svg.count("<circle") == 4
+
+    def test_escaping(self):
+        svg = line_chart([1], {"a<b": [1]}, title="x & y")
+        assert "a&lt;b" in svg
+        assert "x &amp; y" in svg
+        parse(svg)  # still valid XML
+
+    def test_rejects_empty_or_mismatched(self):
+        with pytest.raises(ConfigError):
+            line_chart([1, 2], {})
+        with pytest.raises(ConfigError):
+            line_chart([1, 2], {"a": [1]})
+        with pytest.raises(ConfigError):
+            line_chart([], {"a": []})
+
+
+class TestGroupedBars:
+    def test_valid_svg_document(self):
+        svg = grouped_bar_chart(
+            ["qsort", "turing"],
+            {"X10WS": [30, 34], "DistWS": [40, 38]},
+            title="Fig. 6", y_label="speedup")
+        parse(svg)
+        # 2 groups x 2 series bars + 2 legend swatches + background + frame
+        assert svg.count("<rect") == 4 + 2 + 2
+
+    def test_bar_heights_scale(self):
+        svg = grouped_bar_chart(["g"], {"a": [10], "b": [5]})
+        root = parse(svg)
+        ns = root.tag.split("}")[0] + "}"
+        rects = [r for r in root.iter(f"{ns}rect")
+                 if r.get("fill", "").startswith("#")]
+        bar_heights = sorted(float(r.get("height")) for r in rects
+                             if float(r.get("height")) > 20)
+        assert bar_heights[1] == pytest.approx(2 * bar_heights[0], rel=0.01)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart([], {"a": []})
+        with pytest.raises(ConfigError):
+            grouped_bar_chart(["g"], {"a": [1, 2]})
+
+
+class TestIntegrationWithHarness:
+    def test_fig5_series_renders(self):
+        """The extra['series'] of a fig5-style output feeds line_chart."""
+        series = {"X10WS": [1.0, 3.9, 7.9], "DistWS": [1.0, 3.9, 8.1]}
+        svg = line_chart([1, 4, 8], series, title="app: speedup")
+        parse(svg)
+        assert "speedup" in svg

@@ -1,0 +1,33 @@
+"""Integration matrix: every paper app completes and validates under
+every scheduler (test scale, small cluster)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterSpec, SimRuntime, make_scheduler
+from repro.apps import PAPER_APPS, make_app
+
+SCHEDULERS = ("X10WS", "DistWS", "DistWS-NS", "RandomWS", "Lifeline")
+
+
+@pytest.mark.parametrize("app_name", PAPER_APPS)
+@pytest.mark.parametrize("sched_name", SCHEDULERS)
+def test_app_completes_and_validates(app_name, sched_name):
+    spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+    app = make_app(app_name, scale="test", seed=11)
+    rt = SimRuntime(spec, make_scheduler(sched_name), seed=2)
+    stats = app.run(rt)  # validates internally
+    assert stats.tasks_executed == stats.tasks_spawned
+    assert stats.makespan_cycles > 0
+
+
+@pytest.mark.parametrize("app_name", PAPER_APPS)
+def test_single_worker_equals_work_sum(app_name):
+    """On one worker the makespan is within overhead of the pure work."""
+    spec = ClusterSpec(n_places=1, workers_per_place=1, max_threads=2)
+    app = make_app(app_name, scale="test", seed=11)
+    rt = SimRuntime(spec, make_scheduler("X10WS"), seed=2)
+    stats = app.run(rt)
+    assert stats.makespan_cycles >= stats.work_sum_cycles
+    assert stats.makespan_cycles <= stats.work_sum_cycles * 1.3

@@ -1,0 +1,151 @@
+"""Unit and property tests for the Delaunay substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.delaunay.geometry import (
+    circumcenter,
+    in_circle,
+    is_ccw,
+    min_angle,
+    orient2d,
+    point_in_triangle,
+    triangle_angles,
+)
+from repro.apps.delaunay.mesh import DelaunayMesh
+from repro.errors import AppError
+
+
+class TestPredicates:
+    def test_orient2d_signs(self):
+        assert orient2d((0, 0), (1, 0), (0, 1)) > 0   # CCW
+        assert orient2d((0, 0), (0, 1), (1, 0)) < 0   # CW
+        assert orient2d((0, 0), (1, 1), (2, 2)) == 0  # collinear
+
+    def test_in_circle_basic(self):
+        a, b, c = (0, 0), (1, 0), (0, 1)
+        assert in_circle(a, b, c, (0.4, 0.4))
+        assert not in_circle(a, b, c, (5, 5))
+
+    def test_circumcenter_equidistant(self):
+        a, b, c = (0, 0), (4, 0), (1, 3)
+        cc = circumcenter(a, b, c)
+        ra = math.dist(cc, a)
+        assert math.dist(cc, b) == pytest.approx(ra)
+        assert math.dist(cc, c) == pytest.approx(ra)
+
+    def test_circumcenter_degenerate_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            circumcenter((0, 0), (1, 1), (2, 2))
+
+    def test_angles_sum_to_180(self):
+        angles = triangle_angles((0, 0), (5, 1), (2, 4))
+        assert sum(angles) == pytest.approx(180.0)
+
+    def test_equilateral_min_angle(self):
+        a, b, c = (0, 0), (1, 0), (0.5, math.sqrt(3) / 2)
+        assert min_angle(a, b, c) == pytest.approx(60.0)
+
+    def test_point_in_triangle(self):
+        a, b, c = (0, 0), (4, 0), (0, 4)
+        assert point_in_triangle((1, 1), a, b, c)
+        assert point_in_triangle((0, 0), a, b, c)  # vertex counts
+        assert not point_in_triangle((3, 3), a, b, c)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.tuples(*[st.floats(-100, 100) for _ in range(8)]))
+    def test_in_circle_requires_ccw_consistency(self, vals):
+        ax, ay, bx, by, cx, cy, dx, dy = vals
+        a, b, c, d = (ax, ay), (bx, by), (cx, cy), (dx, dy)
+        if abs(orient2d(a, b, c)) < 1e-6:
+            return  # degenerate
+        if not is_ccw(a, b, c):
+            a, b, c = a, c, b
+        # d strictly inside the triangle must be inside the circumcircle.
+        if point_in_triangle(d, a, b, c) and min(
+                orient2d(a, b, d), orient2d(b, c, d),
+                orient2d(c, a, d)) > 1e-6:
+            assert in_circle(a, b, c, d)
+
+
+class TestMeshConstruction:
+    def make_mesh(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n, 2))
+        mesh = DelaunayMesh((0, 0, 100, 100))
+        for p in pts:
+            mesh.insert((float(p[0]), float(p[1])))
+        return mesh, pts
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(AppError):
+            DelaunayMesh((0, 0, 0, 10))
+
+    def test_all_points_inserted(self):
+        mesh, pts = self.make_mesh()
+        assert mesh.points_inserted == len(pts)
+        assert len(mesh.vertices) == len(pts) + 3
+
+    def test_delaunay_property_full(self):
+        mesh, _ = self.make_mesh(n=80)
+        assert mesh.check_delaunay(vertices_sample=None)
+
+    def test_euler_relation(self):
+        mesh, _ = self.make_mesh()
+        assert mesh.euler_check()
+
+    def test_order_independence(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 50, size=(60, 2))
+
+        def coord_tris(order):
+            mesh = DelaunayMesh((0, 0, 50, 50))
+            for p in pts[order]:
+                mesh.insert((float(p[0]), float(p[1])))
+            return sorted(
+                tuple(sorted(mesh.vertices[v] for v in mesh.triangles[t]))
+                for t in mesh.interior_tids())
+
+        fwd = coord_tris(np.arange(60))
+        rev = coord_tris(np.arange(59, -1, -1))
+        assert fwd == rev
+
+    def test_locate_finds_containing_triangle(self):
+        mesh, pts = self.make_mesh(n=50, seed=1)
+        tid = mesh.locate((25.0, 25.0))
+        from repro.apps.delaunay.geometry import point_in_triangle
+        a, b, c = (mesh.vertices[v] for v in mesh.triangles[tid])
+        assert point_in_triangle((25.0, 25.0), a, b, c)
+
+    def test_locate_outside_domain_rejected(self):
+        mesh, _ = self.make_mesh(n=10)
+        with pytest.raises(AppError):
+            mesh.locate((1e6, 1e6))
+
+    def test_neighbours_share_an_edge(self):
+        mesh, _ = self.make_mesh(n=40)
+        for tid in list(mesh.triangles)[:10]:
+            tri = set(mesh.triangles[tid])
+            for nb in mesh.neighbours(tid):
+                assert len(tri & set(mesh.triangles[nb])) == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mesh_invariants_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(30, 2))
+        mesh = DelaunayMesh((0, 0, 10, 10))
+        for p in pts:
+            mesh.insert((float(p[0]), float(p[1])))
+        assert mesh.euler_check()
+        assert mesh.points_inserted == 30
+        # every interior triangle is CCW with positive area
+        for tid in mesh.interior_tids():
+            a, b, c = (mesh.vertices[v] for v in mesh.triangles[tid])
+            assert orient2d(a, b, c) > 0

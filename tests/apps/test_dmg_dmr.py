@@ -1,0 +1,108 @@
+"""Tests for Delaunay mesh generation and refinement applications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, DistWS, SimRuntime, X10WS
+from repro.apps.delaunay.generation import DMGApp
+from repro.apps.delaunay.refinement import DMRApp
+from repro.errors import AppError
+
+
+def small_cluster():
+    return ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+
+
+class TestDMG:
+    def small_app(self, **kw):
+        defaults = dict(n=500, n_seeds=12, bucket_split=24, seed=5)
+        defaults.update(kw)
+        return DMGApp(**defaults)
+
+    @pytest.mark.parametrize("sched_cls", [DistWS, X10WS])
+    def test_produces_the_delaunay_mesh(self, sched_cls):
+        app = self.small_app()
+        app.run(SimRuntime(small_cluster(), sched_cls(), seed=2))
+        mesh = app.result()
+        assert mesh.points_inserted == app.n
+        assert mesh.euler_check()
+        # validate() compares against the sequential oracle for n<=4000;
+        # run() already called it, so reaching here means it matched.
+
+    def test_mesh_equals_sequential_oracle(self):
+        app = self.small_app(n=300)
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        assert app._coord_triangles(app.result()) == app.sequential()
+
+    def test_result_before_run_rejected(self):
+        with pytest.raises(AppError):
+            self.small_app().result()
+
+    def test_invalid_params(self):
+        with pytest.raises(AppError):
+            DMGApp(n=8)
+
+    def test_bucket_tasks_spawned(self):
+        app = self.small_app()
+        stats = app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        assert stats.tasks_by_label["dmg-bucket"] > 0
+        assert stats.tasks_by_label["dmg-seed"] == 1
+
+    def test_points_stay_in_bounds(self):
+        app = self.small_app(n=1000)
+        assert (app._points >= 0).all()
+        assert (app._points <= 100).all()
+
+
+class TestDMR:
+    def small_app(self, **kw):
+        defaults = dict(n_points=400, min_angle_deg=24.0, chunk=4, seed=5)
+        defaults.update(kw)
+        return DMRApp(**defaults)
+
+    @pytest.mark.parametrize("sched_cls", [DistWS, X10WS])
+    def test_refines_all_bad_triangles(self, sched_cls):
+        app = self.small_app()
+        app.run(SimRuntime(small_cluster(), sched_cls(), seed=2))
+        mesh = app.result()
+        assert app.bad_triangles(mesh) == []
+        assert mesh.check_delaunay(vertices_sample=32)
+
+    def test_sequential_refinement_terminates(self):
+        app = self.small_app()
+        mesh = app.sequential()
+        assert app.bad_triangles(mesh) == []
+        assert app._insertions > 0
+
+    def test_refinement_adds_points(self):
+        app = self.small_app()
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        assert app.result().points_inserted > app.n_points
+
+    def test_angle_quality_improves(self):
+        app = self.small_app()
+        before = app._build_initial_mesh()
+        bad_before = len(app.bad_triangles(before))
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        assert bad_before > 0
+        assert app.bad_triangles(app.result()) == []
+
+    def test_result_before_run_rejected(self):
+        with pytest.raises(AppError):
+            self.small_app().result()
+
+    def test_invalid_params(self):
+        with pytest.raises(AppError):
+            DMRApp(min_angle_deg=45.0)  # termination not guaranteed
+        with pytest.raises(AppError):
+            DMRApp(n_points=4)
+
+    def test_deterministic_given_seeds(self):
+        def run():
+            app = self.small_app()
+            app.run(SimRuntime(small_cluster(), DistWS(), seed=9))
+            mesh = app.result()
+            return (mesh.points_inserted, len(mesh.triangles))
+        assert run() == run()

@@ -1,0 +1,79 @@
+"""Tests for the k-means application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, DistWS, DistWSNS, SimRuntime, X10WS
+from repro.apps.kmeans import KMeansApp
+from repro.errors import AppError
+
+
+def small_cluster():
+    return ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+
+
+def small_app(**kw):
+    defaults = dict(n=2_000, k=3, iterations=3, subchunks_per_place=6,
+                    seed=5)
+    defaults.update(kw)
+    return KMeansApp(**defaults)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("sched_cls", [DistWS, X10WS, DistWSNS])
+    def test_matches_oracle_bit_exact(self, sched_cls):
+        app = small_app()
+        app.run(SimRuntime(small_cluster(), sched_cls(), seed=2))
+        assert np.array_equal(app.result(), app.sequential())
+
+    def test_single_worker(self):
+        spec = ClusterSpec(n_places=1, workers_per_place=1, max_threads=2)
+        app = small_app()
+        app.run(SimRuntime(spec, DistWS(), seed=2))
+        assert np.array_equal(app.result(), app.sequential())
+
+    def test_centroids_move_from_init(self):
+        app = small_app()
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        assert not np.allclose(app.result(), app._init_centroids)
+
+    def test_result_before_run_rejected(self):
+        with pytest.raises(AppError):
+            small_app().result()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(AppError):
+            KMeansApp(n=2, k=4)
+        with pytest.raises(AppError):
+            KMeansApp(iterations=0)
+
+
+class TestStructure:
+    def test_partition_covers_everything(self):
+        app = small_app()
+        parts = app._partition(4)
+        covered = sorted(
+            i for lo, hi in parts for i in range(lo, hi))
+        assert covered == list(range(app.n))
+
+    def test_task_counts(self):
+        app = small_app()
+        stats = app.run(SimRuntime(small_cluster(), DistWS(), seed=2))
+        labels = stats.tasks_by_label
+        assert labels["kmeans-reduce"] == 3
+        assert labels["kmeans-assign"] > 0
+        assert labels["kmeans-combine"] > 0
+
+    def test_weights_positive(self):
+        app = small_app()
+        assert (app._weights > 0).all()
+
+    def test_uneven_per_place_weight(self):
+        """The spatially correlated weights must create place imbalance."""
+        app = KMeansApp(n=48_000, seed=5)
+        from repro.cluster.memory import block_distribution
+        totals = [app._weights[c.start:c.stop].sum()
+                  for c in block_distribution(app.n, 16)]
+        assert max(totals) / min(totals) > 2.0

@@ -1,0 +1,87 @@
+"""Tests for the Quicksort application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, DistWS, SimRuntime, X10WS, paper_cluster
+from repro.apps.quicksort import QuicksortApp
+from repro.errors import AppError
+
+
+def small_cluster():
+    return ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+
+
+class TestCorrectness:
+    def test_sorts_correctly_under_distws(self):
+        app = QuicksortApp(n=20_000, seed=3)
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=1))
+        out = app.result()
+        assert np.array_equal(out, np.sort(app._input))
+
+    def test_sorts_correctly_under_x10ws(self):
+        app = QuicksortApp(n=20_000, seed=3)
+        app.run(SimRuntime(small_cluster(), X10WS(), seed=1))
+        assert np.array_equal(app.result(), app.sequential())
+
+    def test_single_place_single_worker(self):
+        spec = ClusterSpec(n_places=1, workers_per_place=1, max_threads=2)
+        app = QuicksortApp(n=5_000, seed=3)
+        app.run(SimRuntime(spec, DistWS(), seed=1))
+        assert np.array_equal(app.result(), app.sequential())
+
+    def test_result_before_run_rejected(self):
+        app = QuicksortApp(n=1_000)
+        with pytest.raises(AppError):
+            app.result()
+
+    def test_apps_are_single_use(self):
+        app = QuicksortApp(n=5_000, seed=3)
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=1))
+        with pytest.raises(AppError):
+            app.run(SimRuntime(small_cluster(), DistWS(), seed=1))
+
+    def test_validation_rejects_corrupted_result(self):
+        app = QuicksortApp(n=5_000, seed=3)
+        app.run(SimRuntime(small_cluster(), DistWS(), seed=1),
+                validate=False)
+        key = next(iter(app._buckets))
+        if len(app._buckets[key]):
+            app._buckets[key] = app._buckets[key][:-1]
+            with pytest.raises(AppError):
+                app.validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(AppError):
+            QuicksortApp(n=4)
+
+
+class TestTaskStructure:
+    def test_phases_present(self):
+        app = QuicksortApp(n=20_000, seed=3)
+        stats = app.run(SimRuntime(small_cluster(), DistWS(), seed=1))
+        labels = stats.tasks_by_label
+        assert labels["qsort-local"] > 0
+        assert labels["qsort-lmerge"] == 4
+        assert labels["qsort-pivot"] == 1
+        assert labels["qsort-split"] == 4
+        assert labels["qsort-bucket"] > 0
+
+    def test_deterministic_given_seeds(self):
+        def run():
+            app = QuicksortApp(n=10_000, seed=5)
+            stats = app.run(SimRuntime(small_cluster(), DistWS(), seed=9))
+            return (stats.makespan_cycles, stats.steals.total_steals,
+                    stats.messages)
+        assert run() == run()
+
+    def test_skew_increases_imbalance(self):
+        """Higher skew => more uneven bucket tasks => a wider busy-time
+        spread under the no-remote-steal baseline."""
+        def spread(skew):
+            app = QuicksortApp(n=40_000, skew=skew, seed=5)
+            stats = app.run(SimRuntime(paper_cluster(), X10WS(), seed=1))
+            return stats.utilization_spread()
+        assert spread(2.5) > spread(0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the cycle cost model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.errors import ConfigError
+
+
+class TestConversions:
+    def test_ms_round_trip(self, costs):
+        assert costs.ms(costs.cycles(3.5)) == pytest.approx(3.5)
+
+    def test_default_is_2ghz(self):
+        assert DEFAULT_COST_MODEL.cycles_per_ms == 2_000_000.0
+        assert DEFAULT_COST_MODEL.ms(2_000_000) == pytest.approx(1.0)
+
+    def test_transfer_cycles_linear_in_bytes(self, costs):
+        small = costs.transfer_cycles(0)
+        big = costs.transfer_cycles(1000)
+        assert small == costs.net_latency
+        assert big == pytest.approx(
+            costs.net_latency + 1000 * costs.net_cycles_per_byte)
+
+    def test_negative_transfer_rejected(self, costs):
+        with pytest.raises(ConfigError):
+            costs.transfer_cycles(-1)
+
+
+class TestValidation:
+    def test_default_model_valid(self):
+        DEFAULT_COST_MODEL.validate()
+
+    def test_ordering_invariants_enforced(self):
+        bad = dataclasses.replace(DEFAULT_COST_MODEL,
+                                  private_deque_op=1000.0,
+                                  shared_deque_op=10.0)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_remote_access_must_exceed_l1_miss(self):
+        bad = dataclasses.replace(DEFAULT_COST_MODEL,
+                                  remote_access_penalty=1.0)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_local_steal_cheaper_than_network(self):
+        bad = dataclasses.replace(DEFAULT_COST_MODEL,
+                                  local_steal_success=1e9)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_positive_rates_required(self):
+        bad = dataclasses.replace(DEFAULT_COST_MODEL, cycles_per_ms=0.0)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_positive_cache_capacity_required(self):
+        bad = dataclasses.replace(DEFAULT_COST_MODEL, l1_capacity_lines=0)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_COST_MODEL.net_latency = 1.0  # type: ignore[misc]

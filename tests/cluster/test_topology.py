@@ -1,0 +1,94 @@
+"""Unit tests for cluster topology specs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterSpec, paper_cluster, worker_sweep
+from repro.errors import ConfigError
+
+
+class TestClusterSpec:
+    def test_defaults_match_paper_platform(self):
+        spec = ClusterSpec()
+        assert spec.n_places == 16
+        assert spec.workers_per_place == 8
+        assert spec.total_workers == 128
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_places": 0},
+        {"workers_per_place": 0},
+        {"max_threads": 2, "workers_per_place": 4},
+        {"topology": "torus"},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterSpec(**kwargs)
+
+    def test_worker_ids_enumerates_all(self):
+        spec = ClusterSpec(n_places=3, workers_per_place=2, max_threads=3)
+        ids = list(spec.worker_ids())
+        assert len(ids) == 6
+        assert ids[0] == (0, 0)
+        assert ids[-1] == (2, 1)
+
+    def test_full_topology_distance(self):
+        spec = ClusterSpec(n_places=5, workers_per_place=1, max_threads=1)
+        assert spec.hop_distance(0, 0) == 0
+        assert spec.hop_distance(0, 4) == 1
+        assert spec.hop_distance(3, 1) == 1
+
+    def test_ring_topology_distance(self):
+        spec = ClusterSpec(n_places=6, workers_per_place=1, max_threads=1,
+                           topology="ring")
+        assert spec.hop_distance(0, 1) == 1
+        assert spec.hop_distance(0, 5) == 1  # wraps around
+        assert spec.hop_distance(0, 3) == 3
+
+    def test_ring_neighbours_nearest_first(self):
+        spec = ClusterSpec(n_places=6, workers_per_place=1, max_threads=1,
+                           topology="ring")
+        order = spec.neighbours_by_distance(0)
+        assert order[0:2] == [1, 5]
+        assert order[-1] == 3
+
+    def test_out_of_range_place_rejected(self):
+        spec = ClusterSpec(n_places=2, workers_per_place=1, max_threads=1)
+        with pytest.raises(ConfigError):
+            spec.hop_distance(0, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=32),
+           src=st.integers(min_value=0, max_value=31),
+           dst=st.integers(min_value=0, max_value=31))
+    def test_ring_distance_symmetric(self, n, src, dst):
+        src, dst = src % n, dst % n
+        spec = ClusterSpec(n_places=n, workers_per_place=1, max_threads=1,
+                           topology="ring")
+        assert spec.hop_distance(src, dst) == spec.hop_distance(dst, src)
+        assert spec.hop_distance(src, dst) <= n // 2
+
+
+class TestFactories:
+    def test_paper_cluster_is_128_workers(self):
+        spec = paper_cluster()
+        assert spec.total_workers == 128
+        assert spec.topology == "full"
+
+    def test_worker_sweep_matches_fig5_axis(self):
+        specs = worker_sweep()
+        totals = [s.total_workers for s in specs]
+        assert totals == [1, 2, 4, 8, 16, 32, 64, 128]
+        # <= 8 workers on one place, beyond that 8 per place
+        assert all(s.n_places == 1 for s in specs[:4])
+        assert [s.n_places for s in specs[4:]] == [2, 4, 8, 16]
+
+    def test_worker_sweep_rejects_non_multiples(self):
+        with pytest.raises(ConfigError):
+            worker_sweep([12])
+
+    def test_worker_sweep_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            worker_sweep([0])

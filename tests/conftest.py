@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.network import Network
+from repro.cluster.memory import MemoryManager
+from repro.cluster.topology import ClusterSpec
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh discrete-event environment."""
+    return Environment()
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    """The default cost model."""
+    return CostModel()
+
+
+@pytest.fixture
+def small_spec() -> ClusterSpec:
+    """A 4-place, 2-worker cluster — large enough for distributed steals."""
+    return ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+
+
+@pytest.fixture
+def single_spec() -> ClusterSpec:
+    """A single-place, 2-worker cluster (no distributed stealing possible)."""
+    return ClusterSpec(n_places=1, workers_per_place=2, max_threads=4)
+
+
+@pytest.fixture
+def network(small_spec, costs) -> Network:
+    """Interconnect over the small cluster."""
+    return Network(small_spec, costs)
+
+
+@pytest.fixture
+def memory(network, costs) -> MemoryManager:
+    """Memory manager over the small cluster's network."""
+    return MemoryManager(network, costs)

@@ -1,0 +1,61 @@
+"""Tests for table and figure rendering."""
+
+from __future__ import annotations
+
+from repro.harness.figures import bar_chart, grouped_bars, series_lines
+from repro.harness.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_ints_get_separators(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_floats(self):
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(0.0) == "0"
+
+    def test_bool_and_str(self):
+        assert format_cell(True) == "yes"
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(["a", "long_header"], [[1, 2], [333, 4]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+
+class TestFigures:
+    def test_bar_chart_scales_to_max(self):
+        out = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart([], title="t")
+
+    def test_grouped_bars_structure(self):
+        out = grouped_bars(["g1", "g2"],
+                           {"s1": [1, 2], "s2": [2, 1]}, width=8)
+        assert "g1:" in out and "g2:" in out
+        assert out.count("|") == 4
+
+    def test_series_lines(self):
+        out = series_lines([1, 2], {"a": [0.5, 1.5], "b": [1.0, 2.0]},
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "0.500" in lines[3]
+        assert "2.000" in lines[4]

@@ -1,0 +1,105 @@
+"""Tests for the live threaded executor."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError, SchedulerError
+from repro.live import LiveExecutor
+
+
+class TestBasics:
+    def test_submit_and_result(self):
+        with LiveExecutor(n_places=2, workers_per_place=2) as ex:
+            f = ex.submit(lambda a, b: a + b, 2, 3)
+            assert f.result(timeout=5) == 5
+
+    def test_map_local(self):
+        with LiveExecutor(n_places=2, workers_per_place=2) as ex:
+            out = ex.map_local(lambda x: x * x, range(20))
+            assert out == [i * i for i in range(20)]
+
+    def test_exceptions_propagate(self):
+        with LiveExecutor() as ex:
+            f = ex.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                f.result(timeout=5)
+
+    def test_invalid_place_rejected(self):
+        with LiveExecutor(n_places=2) as ex:
+            with pytest.raises(ConfigError):
+                ex.submit(lambda: None, place=7)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            LiveExecutor(n_places=0)
+
+    def test_submit_after_shutdown_rejected(self):
+        ex = LiveExecutor()
+        ex.shutdown()
+        with pytest.raises(SchedulerError):
+            ex.submit(lambda: None)
+
+
+class TestLocality:
+    def test_sensitive_tasks_run_at_home_place(self):
+        executed = {}
+        lock = threading.Lock()
+
+        def record(i):
+            name = threading.current_thread().name  # live-p{p}w{w}
+            with lock:
+                executed[i] = int(name.split("p")[1].split("w")[0])
+
+        with LiveExecutor(n_places=3, workers_per_place=2) as ex:
+            futures = [ex.submit(record, i, place=i % 3, flexible=False)
+                       for i in range(60)]
+            for f in futures:
+                f.result(timeout=10)
+        for i, place in executed.items():
+            assert place == i % 3
+
+    def test_flexible_tasks_may_migrate(self):
+        import time
+        executed = set()
+        lock = threading.Lock()
+
+        def record(i):
+            time.sleep(0.002)
+            name = threading.current_thread().name
+            with lock:
+                executed.add(int(name.split("p")[1].split("w")[0]))
+
+        with LiveExecutor(n_places=4, workers_per_place=1) as ex:
+            futures = [ex.submit(record, i, place=0, flexible=True)
+                       for i in range(64)]
+            for f in futures:
+                f.result(timeout=20)
+        # Work born at place 0 got stolen by other places.
+        assert len(executed) > 1
+        assert ex.stats["remote_steals"] > 0
+
+    def test_non_selective_raids_private_deques(self):
+        import time
+
+        with LiveExecutor(n_places=2, workers_per_place=1,
+                          selective=False) as ex:
+            futures = [ex.submit(time.sleep, 0.002, place=0,
+                                 flexible=False)
+                       for _ in range(40)]
+            for f in futures:
+                f.result(timeout=20)
+        # The non-selective executor may steal sensitive tasks remotely.
+        assert ex.stats["remote_steals"] >= 0  # counter exists; no leak
+
+
+class TestCounters:
+    def test_stats_account_pops_and_steals(self):
+        with LiveExecutor(n_places=2, workers_per_place=2) as ex:
+            out = ex.map_local(lambda x: x + 1, range(50), flexible=True)
+            assert len(out) == 50
+        total = (ex.stats["own_pops"] + ex.stats["local_steals"]
+                 + ex.stats["shared_takes"] + ex.stats["remote_steals"])
+        assert total == 50

@@ -1,0 +1,79 @@
+"""Failure-injection tests: runtime errors must surface, not hang."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterSpec, DistWS, SimRuntime
+from repro.apgas import Apgas
+from repro.errors import SimulationError
+
+
+def small_spec():
+    return ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+
+
+class TestTaskBodyFailures:
+    def test_body_exception_aborts_run(self):
+        rt = SimRuntime(small_spec(), DistWS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def bad(ctx):
+                raise ValueError("boom in task body")
+
+            ap.async_at(0, bad, work=1000, label="bad")
+
+        with pytest.raises(SimulationError) as err:
+            rt.run(program)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_bad_spawn_arguments_abort_run(self):
+        rt = SimRuntime(small_spec(), DistWS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def parent(ctx):
+                # Both locality forms at once is a usage error.
+                from repro.runtime.task import FLEXIBLE
+                ctx.spawn(None, locality=FLEXIBLE, flexible=True,
+                          work=10, label="child")
+
+            ap.async_at(0, parent, work=1000, label="parent")
+
+        with pytest.raises(SimulationError):
+            rt.run(program)
+
+    def test_failure_in_later_task_still_surfaces(self):
+        rt = SimRuntime(small_spec(), DistWS(), seed=0)
+        ran = []
+
+        def program(rt):
+            ap = Apgas(rt)
+            for i in range(6):
+                def ok(ctx, i=i):
+                    ran.append(i)
+                ap.async_at(i % 2, ok, work=100_000, label="ok")
+
+            def bad(ctx):
+                raise RuntimeError("late failure")
+
+            ap.async_at(1, bad, work=500_000, label="bad")
+
+        with pytest.raises(SimulationError):
+            rt.run(program)
+        assert ran  # earlier tasks did run
+
+
+class TestNonTermination:
+    def test_guard_cycle_budget_enforced(self):
+        rt = SimRuntime(small_spec(), DistWS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+            ap.async_at(0, None, work=1e9, label="long")
+
+        with pytest.raises(SimulationError):
+            rt.run(program, max_cycles=1000.0)

@@ -1,0 +1,121 @@
+"""Unit tests for finish scopes (termination detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.finish import FinishScope
+
+
+def test_open_scope_does_not_complete_when_drained():
+    s = FinishScope()
+    s.register()
+    s.task_done()
+    assert not s.completed  # still open
+
+
+def test_close_then_drain_completes():
+    s = FinishScope()
+    s.register()
+    s.close()
+    assert not s.completed
+    s.task_done()
+    assert s.completed
+
+
+def test_close_on_already_drained_completes_immediately():
+    s = FinishScope()
+    s.close()
+    assert s.completed
+
+
+def test_continuations_fire_once_on_completion():
+    s = FinishScope()
+    fired = []
+    s.on_complete(lambda: fired.append("a"))
+    s.register()
+    s.close()
+    assert fired == []
+    s.task_done()
+    assert fired == ["a"]
+
+
+def test_continuation_on_completed_scope_runs_now():
+    s = FinishScope()
+    s.close()
+    fired = []
+    s.on_complete(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_underflow_rejected():
+    s = FinishScope()
+    with pytest.raises(SimulationError):
+        s.task_done()
+
+
+def test_register_after_completion_rejected():
+    s = FinishScope()
+    s.close()
+    with pytest.raises(SimulationError):
+        s.register()
+
+
+def test_child_scope_blocks_parent():
+    parent = FinishScope("p")
+    child = FinishScope("c", parent=parent)
+    parent.close()
+    assert not parent.completed  # child is live
+    child.close()
+    assert child.completed
+    assert parent.completed
+
+
+def test_continuation_spawning_into_parent_keeps_it_open():
+    parent = FinishScope("p")
+    child = FinishScope("c", parent=parent)
+    parent.close()
+
+    # Phase-chain pattern: when the child completes, register more work in
+    # the parent before the child's unit is released.
+    def continuation():
+        parent.register()
+
+    child.on_complete(continuation)
+    child.close()
+    assert child.completed
+    assert not parent.completed  # the continuation's unit holds it open
+    parent.task_done()
+    assert parent.completed
+
+
+def test_context_manager_closes_on_exit():
+    with FinishScope("cm") as s:
+        s.register()
+        assert not s.completed
+    # closed by __exit__, completes when the task drains
+    s.task_done()
+    assert s.completed
+
+
+def test_context_manager_leaves_open_on_error():
+    try:
+        with FinishScope("cm") as s:
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert not s.completed  # not closed, no continuations fired
+
+
+def test_nested_chain_of_scopes():
+    root = FinishScope("root")
+    mid = FinishScope("mid", parent=root)
+    leaf = FinishScope("leaf", parent=mid)
+    root.close()
+    mid.close()
+    leaf.register()
+    leaf.close()
+    assert not root.completed
+    leaf.task_done()
+    assert leaf.completed and mid.completed and root.completed

@@ -1,0 +1,142 @@
+"""Integration tests for the simulated runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apgas import Apgas
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigError, SchedulerError, SimulationError
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import FLEXIBLE, Task
+from repro.sched import DistWS, X10WS
+
+
+def simple_program(n_tasks, work=100_000, place_of=lambda i: 0,
+                   flexible=False, trace=None):
+    def program(rt):
+        ap = Apgas(rt)
+
+        def leaf(i):
+            def body(ctx):
+                if trace is not None:
+                    trace.append((i, ctx.place))
+            return body
+
+        for i in range(n_tasks):
+            ap.async_at(place_of(i), leaf(i), work=work,
+                        flexible=flexible, label="leaf")
+    return program
+
+
+class TestRunBasics:
+    def test_executes_all_tasks(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        trace = []
+        rt.run(simple_program(10, trace=trace))
+        assert len(trace) == 10
+        assert rt.stats.tasks_executed == 10
+
+    def test_empty_program_rejected(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        with pytest.raises(ConfigError):
+            rt.run(lambda rt: None)
+
+    def test_runtime_single_use(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        rt.run(simple_program(2))
+        with pytest.raises(SimulationError):
+            rt.run(simple_program(2))
+
+    def test_makespan_positive_and_bounded(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        stats = rt.run(simple_program(8, work=1_000_000))
+        assert stats.makespan_cycles > 0
+        # All 8 tasks are at place 0 (2 workers): at least 4 tasks deep.
+        assert stats.makespan_cycles >= 4 * 1_000_000
+
+    def test_timeout_guard_raises(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        with pytest.raises(SimulationError):
+            rt.run(simple_program(4, work=10_000_000), max_cycles=1000)
+
+    def test_sensitive_tasks_run_at_home(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        trace = []
+        rt.run(simple_program(20, place_of=lambda i: i % 4, trace=trace))
+        assert all(place == i % 4 for i, place in trace)
+        assert rt.stats.tasks_executed_remote == 0
+
+    def test_flexible_tasks_migrate_under_imbalance(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        trace = []
+        rt.run(simple_program(40, work=2_000_000, flexible=True,
+                              trace=trace))
+        # All work born at place 0; other places must have stolen some.
+        assert {p for _, p in trace} != {0}
+        assert rt.stats.tasks_executed_remote > 0
+
+
+class TestSpawnValidation:
+    def test_out_of_range_place_rejected(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        with pytest.raises(SchedulerError):
+            rt.spawn(Task(None, home_place=99))
+
+    def test_double_spawn_rejected(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        t = Task(None, 0)
+        rt.spawn(t)
+        with pytest.raises(SchedulerError):
+            rt.spawn(t)
+
+    def test_place_lookup_bounds(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        assert rt.place(0).place_id == 0
+        with pytest.raises(ConfigError):
+            rt.place(4)
+
+
+class TestDeterminism:
+    def run_once(self, seed, sched_cls):
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, sched_cls(), seed=seed)
+        trace = []
+        stats = rt.run(simple_program(30, work=500_000, flexible=True,
+                                      trace=trace))
+        return stats.makespan_cycles, stats.steals.total_steals, trace
+
+    @pytest.mark.parametrize("sched_cls", [DistWS, X10WS])
+    def test_identical_seeds_identical_runs(self, sched_cls):
+        assert self.run_once(5, sched_cls) == self.run_once(5, sched_cls)
+
+    def test_different_seeds_may_differ_but_complete(self):
+        m1, _, t1 = self.run_once(1, DistWS)
+        m2, _, t2 = self.run_once(2, DistWS)
+        assert len(t1) == len(t2) == 30  # same tasks, whatever the schedule
+
+
+class TestStatsCollection:
+    def test_work_accounting(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        stats = rt.run(simple_program(10, work=123_000))
+        assert stats.work_sum_cycles == pytest.approx(10 * 123_000)
+        assert stats.work_count == 10
+        assert stats.mean_task_granularity_cycles == pytest.approx(123_000)
+
+    def test_busy_cycles_recorded_for_active_workers(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        stats = rt.run(simple_program(10, work=1_000_000))
+        assert sum(stats.busy_cycles.values()) > 0
+        assert len(stats.busy_cycles) == small_spec.total_workers
+
+    def test_labels_counted(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        stats = rt.run(simple_program(7))
+        assert stats.tasks_by_label["leaf"] == 7
+
+    def test_utilization_in_unit_range(self, small_spec):
+        rt = SimRuntime(small_spec, DistWS(), seed=1)
+        stats = rt.run(simple_program(30, work=1_000_000, flexible=True))
+        for u in stats.node_utilization():
+            assert 0.0 <= u <= 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for run statistics and derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.stats import RunStats, StealCounters
+
+
+class TestStealCounters:
+    def test_totals(self):
+        st = StealCounters(local_attempts=10, local_hits=4,
+                           shared_local_attempts=3, shared_local_hits=2,
+                           mailbox_hits=1, remote_attempts=5,
+                           remote_hits=2, remote_tasks_received=4)
+        assert st.total_steals == 4 + 2 + 1 + 2
+        assert st.total_attempts == 10 + 3 + 5
+
+
+class TestDerivedMetrics:
+    def make(self):
+        st = RunStats(n_places=2, workers_per_place=2)
+        st.makespan_cycles = 1000.0
+        st.busy_cycles[(0, 0)] = 800.0
+        st.busy_cycles[(0, 1)] = 600.0
+        st.busy_cycles[(1, 0)] = 200.0
+        st.busy_cycles[(1, 1)] = 200.0
+        return st
+
+    def test_node_utilization(self):
+        st = self.make()
+        util = st.node_utilization()
+        assert util[0] == pytest.approx(0.7)   # (800+600)/(2*1000)
+        assert util[1] == pytest.approx(0.2)
+
+    def test_utilization_spread_and_mean(self):
+        st = self.make()
+        assert st.utilization_spread() == pytest.approx(0.5)
+        assert st.utilization_mean() == pytest.approx(0.45)
+        assert st.utilization_stdev() == pytest.approx(0.25)
+
+    def test_utilization_clamped_to_one(self):
+        st = RunStats(n_places=1, workers_per_place=1)
+        st.makespan_cycles = 100.0
+        st.busy_cycles[(0, 0)] = 150.0  # overhead accounting overshoot
+        assert st.node_utilization() == [1.0]
+
+    def test_zero_makespan(self):
+        st = RunStats(n_places=2, workers_per_place=1)
+        assert st.node_utilization() == [0.0, 0.0]
+        assert st.utilization_mean() == 0.0
+
+    def test_steal_ratio(self):
+        st = RunStats(n_places=1, workers_per_place=1)
+        st.tasks_executed = 100
+        st.steals.local_hits = 5
+        assert st.steals_to_task_ratio == pytest.approx(0.05)
+        empty = RunStats()
+        assert empty.steals_to_task_ratio == 0.0
+
+    def test_miss_rate(self):
+        st = RunStats()
+        assert st.l1_miss_rate == 0.0
+        st.cache_hits = 75
+        st.cache_misses = 25
+        assert st.l1_miss_rate == pytest.approx(0.25)
+
+    def test_granularity(self):
+        st = RunStats()
+        assert st.mean_task_granularity_cycles == 0.0
+        st.work_sum_cycles = 500.0
+        st.work_count = 5
+        assert st.mean_task_granularity_cycles == 100.0
+
+    def test_summary_keys(self):
+        st = self.make()
+        s = st.summary()
+        for key in ("places", "workers", "makespan_cycles", "steals",
+                    "l1_miss_rate", "utilization_spread"):
+            assert key in s

@@ -1,0 +1,88 @@
+"""Tests for the cluster-wide load-status board (§VI-B objects)."""
+
+from __future__ import annotations
+
+from repro.runtime.status import StatusBoard
+from repro.sim.engine import Environment
+
+
+class TestStatusBoard:
+    def test_advertise_and_retract(self, env):
+        board = StatusBoard(env)
+        assert not board.has_surplus(3)
+        board.advertise(3)
+        assert board.has_surplus(3)
+        board.retract(3)
+        assert not board.has_surplus(3)
+        board.retract(3)  # idempotent
+
+    def test_surplus_places_sorted_and_excluding(self, env):
+        board = StatusBoard(env)
+        for p in (5, 1, 3):
+            board.advertise(p)
+        assert board.surplus_places(exclude=3) == [1, 5]
+        assert board.surplus_places(exclude=9) == [1, 3, 5]
+
+    def test_surplus_event_wakes_on_advertise(self, env):
+        board = StatusBoard(env)
+        ev = board.surplus_event()
+        assert not ev.triggered
+        board.advertise(2)
+        assert ev.triggered
+        assert ev.value == 2
+
+    def test_re_advertising_does_not_double_fire(self, env):
+        board = StatusBoard(env)
+        board.advertise(1)
+        ev = board.surplus_event()
+        board.advertise(1)  # already advertised: no wake
+        assert not ev.triggered
+        board.retract(1)
+        board.advertise(1)  # fresh advertisement wakes
+        assert ev.triggered
+
+    def test_already_triggered_waiters_skipped(self, env):
+        board = StatusBoard(env)
+        ev = board.surplus_event()
+        ev.succeed("woke some other way")
+        board.advertise(0)  # must not double-succeed
+        assert ev.value == "woke some other way"
+
+
+class TestBoardIntegration:
+    def test_distws_only_probes_advertising_places(self):
+        """With the board, a starving cluster sends no steal requests."""
+        from repro import ClusterSpec, DistWS, SimRuntime
+        from repro.apgas import Apgas
+
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, DistWS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+            # Sensitive-only workload at place 0: nothing is stealable,
+            # so no place ever advertises and no requests are sent.
+            for i in range(12):
+                ap.async_at(0, None, work=1_000_000, flexible=False,
+                            label="t")
+
+        stats = rt.run(program)
+        assert stats.steals.remote_attempts == 0
+        assert stats.messages == 0
+
+    def test_blind_random_does_probe(self):
+        from repro import ClusterSpec, RandomWS, SimRuntime
+        from repro.apgas import Apgas
+
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, RandomWS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+            for i in range(12):
+                ap.async_at(0, None, work=1_000_000, flexible=False,
+                            label="t")
+
+        stats = rt.run(program)
+        # Blind random stealing pays failed round trips.
+        assert stats.steals.remote_attempts > 0

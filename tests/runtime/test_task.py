@@ -1,0 +1,47 @@
+"""Unit tests for the task model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.runtime.task import FLEXIBLE, SENSITIVE, Task, TaskState
+
+
+def test_defaults_are_sensitive():
+    t = Task(None, home_place=0)
+    assert t.locality is SENSITIVE
+    assert not t.is_flexible
+    assert t.state is TaskState.CREATED
+
+
+def test_flexible_flag():
+    t = Task(None, 0, locality=FLEXIBLE)
+    assert t.is_flexible
+
+
+def test_negative_work_rejected():
+    with pytest.raises(SchedulerError):
+        Task(None, 0, work=-1)
+
+
+def test_task_ids_unique_and_increasing():
+    a = Task(None, 0)
+    b = Task(None, 0)
+    assert b.task_id > a.task_id
+
+
+def test_footprint_deduplicates_blocks(memory):
+    b1 = memory.allocate(0, 100)
+    b2 = memory.allocate(0, 50)
+    t = Task(None, 0, reads=[b1, b2], writes=[b1])
+    assert t.footprint_bytes == 150
+    assert len(t.blocks()) == 3          # repeats preserved
+    assert len(t.unique_blocks()) == 2   # dedup by id
+
+
+def test_unique_blocks_keeps_first_occurrence_order(memory):
+    b1 = memory.allocate(0, 1)
+    b2 = memory.allocate(0, 2)
+    t = Task(None, 0, reads=[b2, b1], writes=[b2])
+    assert [b.block_id for b in t.unique_blocks()] == [b2.block_id, b1.block_id]

@@ -1,0 +1,152 @@
+"""Integration tests for worker execution behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apgas import Apgas
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import FLEXIBLE
+from repro.sched import DistWS, DistWSNS, X10WS
+
+
+def run_program(spec, sched, program, seed=1):
+    rt = SimRuntime(spec, sched, seed=seed)
+    stats = rt.run(program)
+    return rt, stats
+
+
+class TestExecutionCosts:
+    def test_children_available_during_parent_execution(self, small_spec):
+        """Help-first: children run while the parent is still 'computing'."""
+        events = []
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def child(ctx):
+                events.append(("child", ctx.now))
+
+            def parent(ctx):
+                ctx.spawn(child, work=1_000, label="child")
+
+            ap.async_at(0, parent, work=10_000_000, label="parent")
+
+        _, stats = run_program(small_spec, DistWS(), program)
+        assert len(events) == 1
+        # Child completed well before the parent's 10M-cycle work ended.
+        assert events[0][1] < 10_000_000
+
+    def test_memory_touches_extend_duration(self, single_spec):
+        def make(reads):
+            def program(rt):
+                ap = Apgas(rt)
+                blocks = [ap.alloc(0, 64, f"b{i}") for i in range(reads)]
+                # 200 distinct blocks on a 64-entry cache: every touch a miss.
+                ap.async_at(0, None, work=1_000, reads=blocks, label="t")
+            return program
+
+        _, cold = run_program(single_spec, DistWS(), make(200))
+        _, none = run_program(single_spec, DistWS(), make(0))
+        assert cold.makespan_cycles > none.makespan_cycles
+        assert cold.cache_misses >= 200
+
+    def test_encapsulated_blocks_migrate_on_remote_execution(self, small_spec):
+        def program(rt):
+            ap = Apgas(rt)
+            block = ap.alloc(0, 8192, "payload")
+            for i in range(16):
+                ap.async_at(0, None, work=2_000_000, reads=[block],
+                            flexible=True, encapsulates=True, label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        assert stats.tasks_executed_remote > 0
+        assert stats.block_migrations > 0
+        # After migration, touches are local: no fine-grained remote refs.
+        assert stats.remote_references == 0
+
+    def test_non_encapsulating_remote_task_pays_remote_references(
+            self, small_spec):
+        """X10 `at` semantics (§IX): a stolen non-encapsulating task's
+        data accesses are fine-grained remote references — no persistent
+        replica is ever created."""
+        def program(rt):
+            ap = Apgas(rt)
+            self_block = ap.alloc(0, 8192, "payload")
+            program.block = self_block
+            for i in range(16):
+                ap.async_at(0, None, work=2_000_000, reads=[self_block],
+                            flexible=True, encapsulates=False, label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        assert stats.tasks_executed_remote > 0
+        assert stats.block_migrations == 0
+        assert stats.remote_references > 0
+        # No replica exists anywhere but home.
+        assert rt.memory.replicas(program.block) == {0}
+
+    def test_non_encapsulating_remote_writes_copied_home(self, small_spec):
+        from repro.cluster.network import MSG_RESULT_COPYBACK
+
+        def program(rt):
+            ap = Apgas(rt)
+            blocks = [ap.alloc(0, 1024, f"b{i}") for i in range(16)]
+            for i in range(16):
+                ap.async_at(0, None, work=2_000_000, writes=[blocks[i]],
+                            flexible=True, encapsulates=False, label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        assert stats.tasks_executed_remote > 0
+        assert stats.messages_by_kind[MSG_RESULT_COPYBACK] > 0
+
+    def test_third_place_block_pays_remote_reference(self, small_spec):
+        """Touching a block homed at a third place (neither home nor exec)
+        is a fine-grained remote reference."""
+        def program(rt):
+            ap = Apgas(rt)
+            far = ap.alloc(3, 4096, "far")
+            ap.async_at(0, None, work=1_000_000, reads=[far], label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        assert stats.remote_references == 1
+
+    def test_copy_back_messages_counted(self, small_spec):
+        from repro.cluster.network import MSG_RESULT_COPYBACK
+
+        def program(rt):
+            ap = Apgas(rt)
+            blocks = [ap.alloc(0, 1024, f"cell{i}") for i in range(16)]
+            for i in range(16):
+                ap.async_at(0, None, work=2_000_000, reads=[blocks[i]],
+                            flexible=True, copy_back=[blocks[i]], label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        assert stats.tasks_executed_remote > 0
+        assert stats.messages_by_kind[MSG_RESULT_COPYBACK] > 0
+
+
+class TestBusySplit:
+    def test_task_and_overhead_cycles_accumulate(self, small_spec):
+        def program(rt):
+            ap = Apgas(rt)
+            for i in range(24):
+                ap.async_at(0, None, work=1_000_000, flexible=True,
+                            label="t")
+
+        rt, stats = run_program(small_spec, DistWS(), program)
+        task_total = sum(w.task_cycles for p in rt.places for w in p.workers)
+        ovh_total = sum(w.overhead_cycles for p in rt.places
+                        for w in p.workers)
+        assert task_total >= 24 * 1_000_000
+        assert ovh_total > 0
+
+    def test_tasks_run_counter(self, single_spec):
+        def program(rt):
+            ap = Apgas(rt)
+            for i in range(6):
+                ap.async_at(0, None, work=1000, label="t")
+
+        rt, stats = run_program(single_spec, DistWS(), program)
+        total = sum(w.tasks_run for p in rt.places for w in p.workers)
+        assert total == 6

@@ -1,0 +1,174 @@
+"""Unit tests for the baseline policies (X10WS, DistWS-NS, RandomWS,
+Lifeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apgas import Apgas
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import FLEXIBLE, SENSITIVE, Task
+from repro.sched import DistWS, DistWSNS, LifelineWS, RandomWS, X10WS
+from repro.sched.lifeline import lifeline_graph
+
+
+def imbalanced_program(n_tasks=48, work=2_000_000, flexible=True):
+    def program(rt):
+        ap = Apgas(rt)
+        for i in range(n_tasks):
+            ap.async_at(0, None, work=work, flexible=flexible, label="leaf")
+    return program
+
+
+class TestX10WS:
+    def test_maps_everything_private(self):
+        spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, X10WS(), seed=0)
+        for loc in (SENSITIVE, FLEXIBLE):
+            rt.scheduler.map_task(Task(None, 0, locality=loc))
+        assert rt.places[0].queued_private() == 2
+        assert len(rt.places[0].shared) == 0
+
+    def test_local_steals_happen(self):
+        spec = ClusterSpec(n_places=1, workers_per_place=4, max_threads=4)
+        rt = SimRuntime(spec, X10WS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def driver(ctx):
+                # Help-first: children pile onto the driver's own deque,
+                # so peers must steal them.
+                for i in range(16):
+                    ctx.spawn(None, work=2_000_000, label="leaf")
+
+            ap.async_at(0, driver, work=1_000, label="driver")
+
+        stats = rt.run(program)
+        assert stats.steals.local_hits > 0
+        assert stats.steals.remote_attempts == 0
+
+    def test_children_map_to_spawning_workers_deque(self):
+        spec = ClusterSpec(n_places=1, workers_per_place=4, max_threads=4)
+        rt = SimRuntime(spec, X10WS(), seed=0)
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def driver(ctx):
+                for i in range(8):
+                    ctx.spawn(None, work=1_000, label="leaf")
+
+            ap.async_at(0, driver, work=1_000, label="driver")
+
+        rt.run(program)
+        # The driver's worker received the driver plus all 8 children on
+        # its own deque; no other worker got a direct push.
+        pushes = sorted(w.deque.pushes for w in rt.places[0].workers)
+        assert pushes == [0, 0, 0, 9]
+
+
+class TestDistWSNS:
+    def test_round_robin_mapping(self):
+        spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, DistWSNS(), seed=0)
+        for _ in range(6):
+            rt.scheduler.map_task(Task(None, 0, locality=SENSITIVE))
+        assert rt.places[0].queued_private() == 3
+        assert len(rt.places[0].shared) == 3
+
+    def test_round_robin_is_per_place(self):
+        spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, DistWSNS(), seed=0)
+        rt.scheduler.map_task(Task(None, 0))
+        rt.scheduler.map_task(Task(None, 1))
+        # Both first-at-place: both private.
+        assert rt.places[0].queued_private() == 1
+        assert rt.places[1].queued_private() == 1
+
+    def test_more_remote_refs_than_distws_on_mixed_workload(self):
+        """NS ships sensitive tasks too, paying per-touch remote references
+        and copy-backs that DistWS structurally avoids (Table II/III
+        mechanism)."""
+        def program(rt):
+            ap = Apgas(rt)
+            blocks = [ap.alloc(0, 4096, f"b{i}") for i in range(64)]
+            for i in range(64):
+                flexible = i % 2 == 0
+                ap.async_at(0, None, work=2_000_000,
+                            reads=[blocks[i]] * 4,
+                            flexible=flexible, encapsulates=flexible,
+                            copy_back=() if flexible else (blocks[i],),
+                            label="leaf")
+
+        def run(sched):
+            spec = ClusterSpec(n_places=4, workers_per_place=2,
+                               max_threads=4)
+            rt = SimRuntime(spec, sched, seed=2)
+            return rt.run(program)
+
+        ns = run(DistWSNS())
+        ws = run(DistWS())
+        # NS executed sensitive tasks remotely: their written data had to
+        # travel back home; DistWS structurally never pays that.
+        assert ns.messages_by_kind["result_copyback"] > 0
+        assert ws.messages_by_kind["result_copyback"] == 0
+
+
+class TestRandomWS:
+    def test_single_task_chunks(self):
+        assert RandomWS().remote_chunk_size == 1
+
+    def test_completes_and_distributes(self):
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, RandomWS(), seed=0)
+        stats = rt.run(imbalanced_program(48))
+        assert stats.tasks_executed == 48
+        assert stats.tasks_executed_remote > 0
+
+
+class TestLifeline:
+    def test_lifeline_graph_structure(self):
+        g = lifeline_graph(8)
+        # Cyclic hypercube over 8 places: strides 1, 2, 4.
+        assert g[0] == [1, 2, 4]
+        assert g[7] == [0, 1, 3]
+        for p, targets in g.items():
+            assert p not in targets
+
+    def test_lifeline_graph_trivial_cases(self):
+        assert lifeline_graph(1) == {0: []}
+        assert lifeline_graph(2) == {0: [1], 1: [0]}
+
+    def test_completes_and_distributes(self):
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, LifelineWS(), seed=0)
+        stats = rt.run(imbalanced_program(48))
+        assert stats.tasks_executed == 48
+        assert stats.tasks_executed_remote > 0
+
+    def test_quiesced_places_receive_pushed_work(self):
+        """After lifeline registration, new work is pushed, not stolen."""
+        spec = ClusterSpec(n_places=4, workers_per_place=1, max_threads=1)
+        sched = LifelineWS()
+        rt = SimRuntime(spec, sched, seed=0)
+        executed_places = []
+
+        def program(rt):
+            ap = Apgas(rt)
+
+            def leaf(ctx):
+                executed_places.append(ctx.place)
+
+            def driver(ctx):
+                # Burst of flexible work spawned *after* other places have
+                # had time to quiesce onto their lifelines.
+                for i in range(12):
+                    ctx.spawn(leaf, work=3_000_000, locality=FLEXIBLE,
+                              label="leaf")
+
+            ap.async_at(0, driver, work=30_000_000, label="driver")
+
+        rt.run(program)
+        assert len(set(executed_places)) > 1

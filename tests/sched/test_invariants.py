@@ -1,0 +1,127 @@
+"""Scheduler invariants — the selectivity guarantees of §X-A.
+
+"DistWS guarantees that the programmer-specified locality preferences are
+honoured, unless they are explicitly marked as being flexible."
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas import Apgas
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.runtime import SimRuntime
+from repro.sched import DistWS, DistWSNS, LifelineWS, RandomWS, X10WS, make_scheduler
+
+
+def mixed_workload(n_tasks, flexible_mask, work=800_000):
+    """Tasks all born at place 0; ``flexible_mask[i]`` picks the class."""
+    trace = []
+
+    def program(rt):
+        ap = Apgas(rt)
+
+        def leaf(i):
+            def body(ctx):
+                trace.append((i, ctx.place))
+            return body
+
+        for i in range(n_tasks):
+            ap.async_at(0, leaf(i), work=work,
+                        flexible=bool(flexible_mask[i % len(flexible_mask)]),
+                        label="leaf")
+
+    return program, trace
+
+
+@pytest.mark.parametrize("sched_name", ["DistWS", "X10WS", "RandomWS",
+                                        "Lifeline"])
+def test_sensitive_tasks_never_leave_home(sched_name):
+    """Under every locality-honouring policy, sensitive tasks stay put."""
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler(sched_name), seed=3)
+    program, trace = mixed_workload(32, flexible_mask=[0, 1])
+    rt.run(program)
+    for i, place in trace:
+        if i % 2 == 0:  # sensitive
+            assert place == 0, f"sensitive task {i} ran at {place}"
+
+
+def test_distws_ns_moves_sensitive_tasks():
+    """The non-selective control must, by design, violate locality."""
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, DistWSNS(), seed=3)
+    program, trace = mixed_workload(64, flexible_mask=[0], work=2_000_000)
+    rt.run(program)
+    assert any(place != 0 for _, place in trace)
+
+
+def test_x10ws_never_crosses_places():
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, X10WS(), seed=3)
+    program, trace = mixed_workload(64, flexible_mask=[1], work=2_000_000)
+    rt.run(program)
+    assert all(place == 0 for _, place in trace)
+    assert rt.stats.steals.remote_hits == 0
+    assert rt.stats.tasks_executed_remote == 0
+
+
+def test_distws_only_flexible_tasks_travel():
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, DistWS(), seed=3)
+    program, trace = mixed_workload(64, flexible_mask=[0, 1],
+                                    work=2_000_000)
+    rt.run(program)
+    moved = [i for i, place in trace if place != 0]
+    assert moved, "expected some flexible tasks to migrate"
+    assert all(i % 2 == 1 for i in moved)
+
+
+@settings(max_examples=10, deadline=None)
+@given(mask=st.lists(st.booleans(), min_size=1, max_size=8),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_distws_selectivity_property(mask, seed):
+    """Property: whatever the flexible/sensitive mix and seed, DistWS never
+    executes a sensitive task away from its home place."""
+    spec = ClusterSpec(n_places=3, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, DistWS(), seed=seed)
+    program, trace = mixed_workload(24, flexible_mask=mask, work=400_000)
+    rt.run(program)
+    assert len(trace) == 24
+    for i, place in trace:
+        if not mask[i % len(mask)]:
+            assert place == 0
+
+
+def test_locality_guard_catches_scheduler_bugs():
+    """The runtime aborts if a locality-guaranteeing scheduler ever lets
+    a sensitive task execute away from home (a planted bug here)."""
+    from repro.errors import SimulationError
+
+    class BuggyDistWS(DistWS):
+        name = "BuggyDistWS"
+
+        def map_task(self, task, from_worker=None):
+            # Bug: publish everything on the shared deque, sensitive
+            # tasks included, while still claiming the guarantee.
+            self._push_shared(task)
+
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, BuggyDistWS(), seed=3)
+    program, _trace = mixed_workload(48, flexible_mask=[0],
+                                     work=2_000_000)
+    with pytest.raises(SimulationError) as err:
+        rt.run(program)
+    assert "locality violation" in str(err.value.__cause__)
+
+
+def test_all_schedulers_complete_all_tasks():
+    for name in ("X10WS", "DistWS", "DistWS-NS", "RandomWS", "Lifeline"):
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+        rt = SimRuntime(spec, make_scheduler(name), seed=11)
+        program, trace = mixed_workload(40, flexible_mask=[1, 0, 1])
+        rt.run(program)
+        assert len(trace) == 40, name
+        assert sorted(i for i, _ in trace) == list(range(40)), name

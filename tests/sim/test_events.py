@@ -1,0 +1,159 @@
+"""Unit tests for the event primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEvent:
+    def test_starts_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_while_pending(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_carries_exception(self, env):
+        ev = env.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # triggered but not yet processed
+        env.run()
+        assert seen == ["x"]
+
+    def test_callback_after_processing_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        env.run()
+        with pytest.raises(SimulationError):
+            ev.add_callback(lambda e: None)
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_fires_at_due_time(self, env):
+        times = []
+        ev = env.timeout(25)
+        ev.add_callback(lambda e: times.append(env.now))
+        env.run()
+        assert times == [25.0]
+
+    def test_timeout_is_triggered_but_not_processed_at_birth(self, env):
+        ev = env.timeout(10)
+        assert ev.triggered      # value pre-set
+        assert not ev.processed  # has not *occurred*
+
+    def test_zero_delay_fires_now(self, env):
+        ev = env.timeout(0, value="v")
+        env.run()
+        assert ev.processed
+        assert ev.value == "v"
+
+
+class TestAnyOf:
+    def test_empty_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+    def test_first_occurrence_wins(self, env):
+        slow = env.timeout(100, value="slow")
+        fast = env.timeout(10, value="fast")
+        combo = env.any_of([slow, fast])
+        env.run()
+        assert combo.processed
+        assert combo.value is fast
+
+    def test_pre_scheduled_timeout_does_not_win_immediately(self, env):
+        # Regression: a Timeout is 'triggered' from birth; AnyOf must wait
+        # for it to be *processed*.
+        gate_ev = env.event()
+        guard = env.timeout(1000)
+        combo = env.any_of([gate_ev, guard])
+        assert not combo.triggered
+        gate_ev.succeed("gate")
+        env.run(until=combo)
+        assert combo.value is gate_ev
+        assert env.now == 0.0
+
+    def test_already_processed_child_fires_composite(self, env):
+        ev = env.timeout(5)
+        env.run()
+        combo = env.any_of([ev, env.event()])
+        env.run()
+        assert combo.processed
+        assert combo.value is ev
+
+    def test_failure_propagates(self, env):
+        bad = env.event()
+        combo = env.any_of([bad, env.event()])
+        bad.fail(RuntimeError("x"))
+        env.run()
+        assert combo.triggered
+        assert not combo.ok
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        a = env.timeout(10, value=1)
+        b = env.timeout(20, value=2)
+        combo = env.all_of([a, b])
+        env.run()
+        assert combo.processed
+        assert env.now == 20.0
+        assert combo.value == [1, 2]
+
+    def test_empty_completes_immediately(self, env):
+        combo = env.all_of([])
+        env.run()
+        assert combo.processed
+        assert combo.value == []
+
+    def test_failure_fails_composite(self, env):
+        a = env.timeout(10)
+        bad = env.event()
+        combo = env.all_of([a, bad])
+        bad.fail(ValueError("nope"))
+        env.run()
+        assert combo.triggered
+        assert not combo.ok

@@ -1,0 +1,172 @@
+"""Unit tests for simulated locks, gates, and mailboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import Gate, Mailbox, SimLock
+
+
+class TestSimLock:
+    def test_uncontended_acquire_is_immediate(self, env):
+        lock = SimLock(env)
+        trace = []
+
+        def proc():
+            yield lock.acquire()
+            trace.append(env.now)
+            lock.release()
+
+        env.process(proc())
+        env.run()
+        assert trace == [0.0]
+        assert not lock.locked
+
+    def test_fifo_handover(self, env):
+        lock = SimLock(env)
+        order = []
+
+        def proc(i, hold):
+            yield lock.acquire()
+            order.append(("got", i, env.now))
+            yield env.timeout(hold)
+            lock.release()
+
+        for i in range(3):
+            env.process(proc(i, hold=10))
+        env.run()
+        assert order == [("got", 0, 0.0), ("got", 1, 10.0), ("got", 2, 20.0)]
+
+    def test_contention_counted(self, env):
+        lock = SimLock(env)
+
+        def proc(hold):
+            yield lock.acquire()
+            yield env.timeout(hold)
+            lock.release()
+
+        env.process(proc(5))
+        env.process(proc(5))
+        env.run()
+        assert lock.total_acquires == 2
+        assert lock.contended_acquires == 1
+
+    def test_release_unheld_rejected(self, env):
+        lock = SimLock(env)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+    def test_try_acquire(self, env):
+        lock = SimLock(env)
+        assert lock.try_acquire()
+        assert not lock.try_acquire()
+        lock.release()
+        assert lock.try_acquire()
+
+    def test_try_acquire_fails_when_waiters_queued(self, env):
+        lock = SimLock(env)
+
+        def holder():
+            yield lock.acquire()
+            yield env.timeout(100)
+            lock.release()
+
+        def waiter():
+            yield lock.acquire()
+            lock.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=50.0)
+        # Held, one waiter queued: try_acquire must not jump the queue.
+        assert not lock.try_acquire()
+
+
+class TestGate:
+    def test_wait_blocks_until_open(self, env):
+        gate = Gate(env)
+        times = []
+
+        def proc():
+            yield gate.wait()
+            times.append(env.now)
+
+        env.process(proc())
+
+        def opener():
+            yield env.timeout(33)
+            gate.open()
+
+        env.process(opener())
+        env.run()
+        assert times == [33.0]
+
+    def test_wait_on_open_gate_immediate(self, env):
+        gate = Gate(env)
+        gate.open()
+        ev = gate.wait()
+        assert ev.triggered
+
+    def test_open_is_idempotent(self, env):
+        gate = Gate(env)
+        gate.open()
+        gate.open()
+        assert gate.is_open
+
+
+class TestMailbox:
+    def test_put_then_try_get(self, env):
+        box = Mailbox(env)
+        assert box.try_get() is None
+        box.put("a")
+        box.put("b")
+        assert len(box) == 2
+        assert box.try_get() == "a"
+        assert box.try_get() == "b"
+        assert box.try_get() is None
+
+    def test_blocking_get_wakes_on_put(self, env):
+        box = Mailbox(env)
+        got = []
+
+        def consumer():
+            item = yield box.get()
+            got.append((env.now, item))
+
+        env.process(consumer())
+
+        def producer():
+            yield env.timeout(12)
+            box.put("task")
+
+        env.process(producer())
+        env.run()
+        assert got == [(12.0, "task")]
+
+    def test_get_with_item_ready_is_immediate(self, env):
+        box = Mailbox(env)
+        box.put("x")
+        ev = box.get()
+        assert ev.triggered
+        assert ev.value == "x"
+
+    def test_fifo_delivery_to_multiple_getters(self, env):
+        box = Mailbox(env)
+        got = []
+
+        def consumer(i):
+            item = yield box.get()
+            got.append((i, item))
+
+        env.process(consumer(0))
+        env.process(consumer(1))
+
+        def producer():
+            yield env.timeout(1)
+            box.put("first")
+            box.put("second")
+
+        env.process(producer())
+        env.run()
+        assert got == [(0, "first"), (1, "second")]

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quicksort" in out
+        assert "DistWS" in out
+        assert "fig6" in out
+
+    def test_run(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tasks_executed" in out
+
+    def test_trace_with_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(["trace", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallelism" in out
+        data = json.loads(path.read_text())
+        assert data["tasks"]
+
+    def test_reproduce_unknown_artifact(self, capsys):
+        assert main(["reproduce", "nosuch"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,38 @@
+"""Smoke tests: the runnable examples actually run."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, argv=None) -> str:
+    """Execute an example as __main__ and capture nothing (smoke only)."""
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return "ok"
+
+
+def test_quickstart_runs():
+    assert run_example("quickstart.py") == "ok"
+
+
+def test_annotating_tasks_runs():
+    assert run_example("annotating_tasks.py") == "ok"
+
+
+def test_trace_analysis_runs():
+    assert run_example("trace_analysis.py", ["uts", "DistWS"]) == "ok"
+
+
+def test_live_threads_runs():
+    assert run_example("live_threads.py") == "ok"

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Summarise a Fig. 5 rendering from bench_output.txt into per-app gains.
+
+Reads the `Fig. 5 — <app>: speedup vs workers` blocks that
+`benchmarks/test_fig5_speedup_scaling.py -s` prints and emits a compact
+per-app table: speedups at 8/32/128 workers for both schedulers and the
+DistWS gain at 128 workers — the summary EXPERIMENTS.md quotes.
+
+Usage: python tools/extract_fig5_summary.py [bench_output.txt]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+
+def parse_blocks(text: str):
+    blocks = {}
+    pattern = re.compile(
+        r"Fig\. 5 — (\w+): speedup vs workers\n=+\n"
+        r"\s*x\s+X10WS\s+DistWS\n((?:\s*\d+\s+[\d.]+\s+[\d.]+\n?)+)")
+    for m in pattern.finditer(text):
+        app = m.group(1)
+        rows = {}
+        for line in m.group(2).strip().splitlines():
+            w, x10, dw = line.split()
+            rows[int(w)] = (float(x10), float(dw))
+        blocks[app] = rows
+    return blocks
+
+
+def main(path: str = "bench_output.txt") -> None:
+    text = open(path).read()
+    blocks = parse_blocks(text)
+    if not blocks:
+        raise SystemExit("no Fig. 5 blocks found; run the fig5 "
+                         "benchmark with -s first")
+    print(f"{'app':>10s} {'x10@8':>7s} {'dw@8':>7s} {'x10@32':>7s} "
+          f"{'dw@32':>7s} {'x10@128':>8s} {'dw@128':>8s} {'gain@128':>9s}")
+    for app, rows in blocks.items():
+        x8, d8 = rows.get(8, (0, 0))
+        x32, d32 = rows.get(32, (0, 0))
+        x128, d128 = rows.get(128, (0, 0))
+        gain = 100 * (d128 / x128 - 1) if x128 else 0.0
+        print(f"{app:>10s} {x8:7.1f} {d8:7.1f} {x32:7.1f} {d32:7.1f} "
+              f"{x128:8.1f} {d128:8.1f} {gain:+8.1f}%")
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["bench_output.txt"]))
