@@ -36,11 +36,14 @@ from repro.errors import (
     AppError,
     ConfigError,
     DeadlockError,
+    FaultError,
+    PlaceFailedError,
     PlacementError,
     ReproError,
     SchedulerError,
     SimulationError,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultStats, SensitivePolicy
 from repro.runtime import FLEXIBLE, SENSITIVE, RunStats, SimRuntime, Task
 from repro.sched import (
     SCHEDULERS,
@@ -66,7 +69,12 @@ __all__ = [
     "DistWS",
     "DistWSNS",
     "FLEXIBLE",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "LifelineWS",
+    "PlaceFailedError",
     "PlaceLocalHandle",
     "PlacementError",
     "RandomWS",
@@ -75,6 +83,7 @@ __all__ = [
     "SCHEDULERS",
     "SENSITIVE",
     "SchedulerError",
+    "SensitivePolicy",
     "SimRuntime",
     "SimulationError",
     "Task",

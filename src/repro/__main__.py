@@ -26,18 +26,61 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _resolve_fault_plan(args, spec):
+    """Parse ``--faults`` and resolve fractional times against a horizon.
+
+    Fractional fault times (``crash:p2@0.4``) are relative to the
+    fault-free makespan of the same (app, scheduler, cluster, seeds)
+    configuration, so a calibration run is performed first when needed.
+    """
+    from repro.faults import FaultPlan
+    plan = FaultPlan.parse(args.faults)
+    if plan.needs_horizon:
+        cal_rt = SimRuntime(spec, make_scheduler(args.scheduler),
+                            seed=args.sched_seed)
+        cal_app = make_app(args.app, scale=args.scale, seed=args.seed)
+        cal = cal_app.run(cal_rt, validate=False)
+        print(f"[calibration: fault-free makespan "
+              f"{cal.makespan_cycles:.0f} cycles]")
+        plan = plan.resolved(cal.makespan_cycles)
+    return plan
+
+
+def _fault_rows(faults) -> list:
+    """Flatten a FaultStats snapshot into table rows."""
+    rows = []
+    for key, value in faults.snapshot().items():
+        if isinstance(value, dict):
+            for k in sorted(value):
+                rows.append([f"{key}[{k}]", value[k]])
+        elif isinstance(value, list):
+            rows.append([key, ", ".join(str(v) for v in value) or "-"])
+        else:
+            rows.append([key, value])
+    return rows
+
+
 def _cmd_run(args) -> int:
     spec = ClusterSpec(n_places=args.places,
                        workers_per_place=args.workers,
                        max_threads=args.workers + 4)
+    plan = _resolve_fault_plan(args, spec) if args.faults else None
     app = make_app(args.app, scale=args.scale, seed=args.seed)
     sched = make_scheduler(args.scheduler)
     rt = SimRuntime(spec, sched, seed=args.sched_seed)
+    if plan is not None:
+        from repro.faults import FaultInjector
+        FaultInjector(plan).attach(rt)
     stats = app.run(rt, validate=not args.no_validate)
     rows = [[k, v] for k, v in stats.summary().items()]
     print(render_table(["metric", "value"], rows,
                        title=f"{args.app} under {args.scheduler} on "
                              f"{spec.n_places}x{spec.workers_per_place}"))
+    if stats.faults is not None:
+        print()
+        print(render_table(["fault metric", "value"],
+                           _fault_rows(stats.faults),
+                           title="fault injection"))
     return 0
 
 
@@ -146,6 +189,10 @@ def main(argv=None) -> int:
     runp.add_argument("--scale", default="bench",
                       choices=("bench", "test"))
     runp.add_argument("--no-validate", action="store_true")
+    runp.add_argument("--faults", metavar="SPEC",
+                      help="fault-injection spec, e.g. "
+                           "'crash:p2@0.4,loss:steal=0.05,policy:relax' "
+                           "(see repro.faults.plan for the grammar)")
 
     tracep = sub.add_parser("trace",
                             help="trace a run; print critical path + "

@@ -14,11 +14,14 @@ Attachment is by wrapping two runtime hooks (`spawn` and the worker's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.runtime.runtime import SimRuntime
 from repro.runtime.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.stats import FaultEvent
 
 
 @dataclass
@@ -57,6 +60,9 @@ class Trace:
     makespan: float = 0.0
     n_places: int = 0
     workers_per_place: int = 0
+    #: Fault-injection timeline (crashes, spikes, losses, re-executions);
+    #: empty for fault-free runs.
+    fault_events: List["FaultEvent"] = field(default_factory=list)
 
     def by_id(self) -> Dict[int, TaskRecord]:
         return {t.task_id: t for t in self.tasks}
@@ -162,4 +168,6 @@ class TraceRecorder:
         """Snapshot the trace after the run completed."""
         self.trace.makespan = self.runtime.env.now
         self.trace.tasks.sort(key=lambda t: t.start_time)
+        if self.runtime.faults is not None:
+            self.trace.fault_events = list(self.runtime.faults.events)
         return self.trace

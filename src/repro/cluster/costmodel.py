@@ -70,6 +70,23 @@ class CostModel:
     #: software path on the victim side).
     remote_steal_service: float = 10_000.0
 
+    # -- fault tolerance (only consulted when a fault injector is attached) --
+    #: Thief-side timer on a remote steal request: if no reply arrives
+    #: within this window the request is presumed lost (or the victim
+    #: dead) and the thief retries or blacklists the victim.  Several
+    #: times a healthy round trip (2 x net_latency + remote_steal_service).
+    steal_timeout: float = 80_000.0
+    #: Transport-level ack timeout before a dropped non-steal message is
+    #: retransmitted (reliable delivery for task shipping / data traffic).
+    retransmit_timeout: float = 50_000.0
+    #: Base backoff between steal retries to the same victim (doubles per
+    #: consecutive timeout).
+    steal_retry_backoff: float = 20_000.0
+    #: Initial span a victim spends on the decaying blacklist after its
+    #: retries are exhausted (doubles per consecutive strike; expires on
+    #: its own and resets after a successful steal).
+    victim_blacklist_cycles: float = 400_000.0
+
     # -- memory hierarchy ------------------------------------------------------
     #: Penalty per cache *line* missed in L1 (hits in local memory).
     l1_miss_penalty: float = 40.0
@@ -107,7 +124,9 @@ class CostModel:
             raise ConfigError("L1 miss must be cheaper than a remote access")
         if not (self.local_steal_success < self.net_latency):
             raise ConfigError("local steal must be cheaper than a network hop")
-        for name in ("cycles_per_ms", "net_cycles_per_byte"):
+        for name in ("cycles_per_ms", "net_cycles_per_byte", "steal_timeout",
+                     "retransmit_timeout", "steal_retry_backoff",
+                     "victim_blacklist_cycles"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
         if self.l1_capacity_lines <= 0:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cluster.costmodel import CostModel
 from repro.cluster.topology import ClusterSpec
@@ -46,7 +46,13 @@ class NetworkStats:
             "messages": self.messages,
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
+            "by_pair": self.by_pair_rows(),
         }
+
+    def by_pair_rows(self) -> List[List[int]]:
+        """Per-link traffic as a sorted ``[src, dst, packets]`` table."""
+        return [[src, dst, self.by_pair[(src, dst)]]
+                for src, dst in sorted(self.by_pair)]
 
 
 class Network:
@@ -73,6 +79,9 @@ class Network:
         self.costs = costs
         self.env = env
         self.stats = NetworkStats()
+        #: Fault injector hook; ``None`` in fault-free runs (the default),
+        #: in which case every fault branch below is skipped entirely.
+        self.faults = None
         self._send_free: Dict[int, float] = {}
         self._recv_free: Dict[int, float] = {}
 
@@ -84,7 +93,52 @@ class Network:
         message: Table III's counts therefore track data *volume*, as they
         do on the paper's MVAPICH2 platform.  Intra-place traffic is free
         and uncounted (Table III counts messages *across nodes* only).
+
+        Under an attached fault injector, delivery is *reliable*: a
+        dropped message costs an ack timeout plus a full retransmission
+        (counted as fresh traffic), looping until one copy gets through.
+        Messages to a dead place travel and vanish (fail-stop receivers
+        send no NACKs); higher layers handle that case explicitly.
         """
+        faults = self.faults
+        if faults is None:
+            return self._send_once(src, dst, nbytes, kind)
+        total = self._send_once(src, dst, nbytes, kind)
+        if src == dst or faults.is_dead(dst):
+            return total
+        while faults.drops(src, dst, kind):
+            packets = max(1, -(-nbytes // self.costs.packet_bytes))
+            faults.stats.note_drop(kind, packets)
+            faults.stats.retransmits += 1
+            total += self.costs.retransmit_timeout
+            total += self._send_once(src, dst, nbytes, kind)
+        return total
+
+    def send_unreliable(self, src: int, dst: int, nbytes: int,
+                        kind: str = MSG_TASK_SHIP) -> Tuple[float, bool]:
+        """One transfer attempt with no transport-level recovery.
+
+        Returns ``(latency, delivered)``.  Resilient protocol code (the
+        schedulers' remote-steal path) uses this to observe losses and
+        dead destinations itself — with its own timeout, retry, backoff
+        and blacklist — instead of the transparent retransmission
+        :meth:`send` applies.
+        """
+        latency = self._send_once(src, dst, nbytes, kind)
+        faults = self.faults
+        delivered = True
+        if faults is not None and src != dst:
+            if faults.is_dead(dst):
+                delivered = False
+            elif faults.drops(src, dst, kind):
+                packets = max(1, -(-nbytes // self.costs.packet_bytes))
+                faults.stats.note_drop(kind, packets)
+                delivered = False
+        return latency, delivered
+
+    def _send_once(self, src: int, dst: int, nbytes: int,
+                   kind: str) -> float:
+        """Price and count exactly one transmission attempt."""
         if kind not in MESSAGE_KINDS:
             raise ConfigError(f"unknown message kind {kind!r}")
         if nbytes < 0:
@@ -106,6 +160,9 @@ class Network:
         # scheduler still queues honestly at ~1.25 GB/s per NIC side.
         occupancy = nbytes * self.costs.net_cycles_per_byte
         latency = hops * self.costs.net_latency
+        if self.faults is not None:
+            # Latency-spike windows stretch propagation, not bandwidth.
+            latency *= self.faults.latency_factor(self.env.now)
         now = self.env.now
         tx_start = max(now, self._send_free.get(src, 0.0))
         tx_end = tx_start + occupancy

@@ -3,6 +3,27 @@
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while letting
 programming errors (``TypeError`` etc.) propagate.
+
+Hierarchy::
+
+    ReproError
+    ├── SimulationError      — the event kernel misused / bad state
+    │   └── DeadlockError    — heap drained with processes still waiting
+    ├── SchedulerError       — a policy violated an invariant
+    ├── PlacementError       — task/block addressed to a nonexistent place
+    ├── AppError             — an application produced a bad result
+    ├── ConfigError          — inconsistent experiment/cluster configuration
+    └── FaultError           — the fault-injection subsystem
+        └── PlaceFailedError — a fail-stop place crash made progress
+                               impossible for a locality-sensitive task
+
+:class:`FaultError` covers misuse of the fault subsystem itself (e.g. a
+task re-executed twice, violating the exactly-once ledger).
+:class:`PlaceFailedError` is the *semantic* failure: a locality-sensitive
+task is pinned to a crashed place and the plan's sensitive-task policy is
+``fail`` (the default) — the run aborts instead of silently violating the
+locality guarantee.  Under the ``relax`` policy the task is degraded to
+locality-flexible and re-executed by a survivor instead.
 """
 
 from __future__ import annotations
@@ -39,3 +60,20 @@ class AppError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or cluster configuration is inconsistent."""
+
+
+class FaultError(ReproError):
+    """The fault-injection subsystem detected an unrecoverable condition.
+
+    Also the base class for all fault-model failures, so resilience tests
+    can catch the whole family with one clause.
+    """
+
+
+class PlaceFailedError(FaultError):
+    """A fail-stop crash left a locality-sensitive task without its home place.
+
+    Raised under the default ``fail`` sensitive-task policy when a crashed
+    place holds (or is the target of) a locality-sensitive task; the
+    ``relax`` policy degrades such tasks to flexible instead of raising.
+    """

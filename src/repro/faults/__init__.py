@@ -1,0 +1,38 @@
+"""Fault injection: deterministic chaos for the simulated cluster.
+
+The subsystem has three parts:
+
+- :class:`FaultPlan` — a frozen, declarative description of what goes
+  wrong (crashes, message loss, latency spikes, stragglers) and the
+  policy for orphaned locality-sensitive tasks;
+- :class:`FaultInjector` — interprets a plan against a
+  :class:`~repro.runtime.runtime.SimRuntime`, scheduling fault events on
+  the simulation clock and pricing drops/delays through the existing
+  LogGP network model;
+- :class:`FaultStats` / :class:`FaultEvent` — the observables: counters
+  merged into ``RunStats.snapshot()["faults"]`` and per-event trace
+  records collected by the analysis layer.
+
+See DESIGN.md §"Fault model" for semantics and guarantees.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LatencySpike,
+    PlaceCrash,
+    SensitivePolicy,
+    Straggler,
+)
+from repro.faults.stats import FaultEvent, FaultStats
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LatencySpike",
+    "PlaceCrash",
+    "SensitivePolicy",
+    "Straggler",
+]

@@ -1,0 +1,241 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a frozen description of every fault a run should
+suffer — place fail-stop crashes, per-kind message-loss probabilities,
+latency-spike windows, and straggler places — plus the policy for
+locality-sensitive tasks orphaned by a crash.  Plans are pure data: the
+:class:`~repro.faults.injector.FaultInjector` interprets them against a
+runtime.
+
+Times may be given either in absolute cycles (values > 1) or as fractions
+of a *horizon* (values in (0, 1]), typically the fault-free makespan of
+the same program; fractional plans must be :meth:`resolved` against a
+horizon before an injector will accept them.  The CLI does this
+automatically by running a fault-free calibration first.
+
+Spec grammar (the CLI's ``--faults`` string; comma-separated tokens)::
+
+    crash:p2@0.4          place 2 fail-stops at 40% of the horizon
+    loss:steal=0.05       5% of steal request/reply packets are dropped
+    loss:ship=0.02        kinds: steal, ship, data, ref, copyback, term,
+                          all, or an exact message-kind name
+    spike:@0.3+0.2x8      latency x8 during [0.3, 0.5) of the horizon
+    straggle:p1x4         place 1 executes task work 4x slower
+    policy:relax          degrade orphaned sensitive tasks to flexible
+                          (default ``fail``: raise PlaceFailedError)
+    seed:7                seed for the injector's RNG streams
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.cluster.network import (
+    MESSAGE_KINDS,
+    MSG_DATA_BLOCK,
+    MSG_REMOTE_REF,
+    MSG_RESULT_COPYBACK,
+    MSG_STEAL_REPLY,
+    MSG_STEAL_REQUEST,
+    MSG_TASK_SHIP,
+    MSG_TERMINATION,
+)
+from repro.errors import ConfigError
+
+
+class SensitivePolicy(enum.Enum):
+    """What happens to a locality-sensitive task whose home place died."""
+
+    #: Abort the run with :class:`~repro.errors.PlaceFailedError`.
+    FAIL_FAST = "fail"
+    #: Degrade the task to locality-flexible and re-execute on a survivor.
+    RELAX = "relax"
+
+
+@dataclass(frozen=True)
+class PlaceCrash:
+    """Fail-stop crash of one place at a point in simulated time."""
+
+    place: int
+    #: Cycles, or a fraction of the horizon when in (0, 1].
+    at: float
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """A window during which interconnect latency is multiplied."""
+
+    start: float
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A place whose workers execute task work ``factor`` times slower."""
+
+    place: int
+    factor: float
+
+
+#: Aliases accepted by the ``loss:`` spec token.
+_LOSS_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "steal": (MSG_STEAL_REQUEST, MSG_STEAL_REPLY),
+    "ship": (MSG_TASK_SHIP,),
+    "data": (MSG_DATA_BLOCK,),
+    "ref": (MSG_REMOTE_REF,),
+    "copyback": (MSG_RESULT_COPYBACK,),
+    "term": (MSG_TERMINATION,),
+    "all": MESSAGE_KINDS,
+}
+
+_CRASH_RE = re.compile(r"^p(\d+)@([0-9.eE+-]+)$")
+_SPIKE_RE = re.compile(r"^@([0-9.eE+-]+)\+([0-9.eE+-]+)x([0-9.eE+-]+)$")
+_STRAGGLE_RE = re.compile(r"^p(\d+)x([0-9.eE+-]+)$")
+
+
+def _is_fraction(value: float) -> bool:
+    """Whether ``value`` denotes a fraction of the horizon."""
+    return 0.0 < value <= 1.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong during one run."""
+
+    crashes: Tuple[PlaceCrash, ...] = ()
+    #: Message kind -> drop probability in [0, 1).
+    loss: Dict[str, float] = field(default_factory=dict)
+    spikes: Tuple[LatencySpike, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    sensitive_policy: SensitivePolicy = SensitivePolicy.FAIL_FAST
+    seed: int = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """A plan that injects nothing (attaching it is a no-op)."""
+        return not (self.crashes or self.spikes or self.stragglers
+                    or any(p > 0 for p in self.loss.values()))
+
+    @property
+    def needs_horizon(self) -> bool:
+        """Whether any time in the plan is a fraction of the horizon."""
+        return (any(_is_fraction(c.at) for c in self.crashes)
+                or any(_is_fraction(s.start) or _is_fraction(s.duration)
+                       for s in self.spikes))
+
+    # -- construction ------------------------------------------------------
+    def resolved(self, horizon: float) -> "FaultPlan":
+        """Scale every fractional time by ``horizon`` (cycles)."""
+        if horizon <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon}")
+
+        def scale(v: float) -> float:
+            return v * horizon if _is_fraction(v) else v
+
+        return replace(
+            self,
+            crashes=tuple(replace(c, at=scale(c.at)) for c in self.crashes),
+            spikes=tuple(replace(s, start=scale(s.start),
+                                 duration=scale(s.duration))
+                         for s in self.spikes),
+        )
+
+    def validate(self, n_places: int) -> None:
+        """Check the plan is injectable on an ``n_places`` cluster."""
+        crashed = set()
+        for c in self.crashes:
+            if not (0 <= c.place < n_places):
+                raise ConfigError(f"crash of nonexistent place {c.place}")
+            if c.at < 0:
+                raise ConfigError(f"crash time must be >= 0, got {c.at}")
+            if c.place in crashed:
+                raise ConfigError(f"place {c.place} crashes twice")
+            crashed.add(c.place)
+        if len(crashed) >= n_places:
+            raise ConfigError("plan crashes every place; no survivors")
+        for kind, prob in self.loss.items():
+            if kind not in MESSAGE_KINDS:
+                raise ConfigError(f"unknown message kind {kind!r}")
+            if not (0.0 <= prob < 1.0):
+                raise ConfigError(
+                    f"loss probability for {kind!r} must be in [0, 1), "
+                    f"got {prob}")
+        for s in self.spikes:
+            if s.start < 0 or s.duration <= 0:
+                raise ConfigError(f"bad spike window {s}")
+            if s.factor < 1.0:
+                raise ConfigError(f"spike factor must be >= 1, got {s.factor}")
+        for s in self.stragglers:
+            if not (0 <= s.place < n_places):
+                raise ConfigError(f"straggler place {s.place} out of range")
+            if s.factor < 1.0:
+                raise ConfigError(
+                    f"straggler factor must be >= 1, got {s.factor}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``--faults`` spec string (see module doc)."""
+        crashes: list[PlaceCrash] = []
+        loss: Dict[str, float] = {}
+        spikes: list[LatencySpike] = []
+        stragglers: list[Straggler] = []
+        policy = SensitivePolicy.FAIL_FAST
+        seed = 0
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            head, sep, rest = token.partition(":")
+            if not sep:
+                raise ConfigError(f"malformed fault token {token!r} "
+                                  "(expected kind:args)")
+            if head == "crash":
+                m = _CRASH_RE.match(rest)
+                if not m:
+                    raise ConfigError(
+                        f"bad crash spec {rest!r} (expected p<i>@<t>)")
+                crashes.append(PlaceCrash(int(m.group(1)), float(m.group(2))))
+            elif head == "loss":
+                name, eq, prob = rest.partition("=")
+                if not eq:
+                    raise ConfigError(
+                        f"bad loss spec {rest!r} (expected kind=prob)")
+                kinds = _LOSS_ALIASES.get(name, (name,))
+                for kind in kinds:
+                    loss[kind] = float(prob)
+            elif head == "spike":
+                m = _SPIKE_RE.match(rest)
+                if not m:
+                    raise ConfigError(
+                        f"bad spike spec {rest!r} "
+                        "(expected @<start>+<duration>x<factor>)")
+                spikes.append(LatencySpike(float(m.group(1)),
+                                           float(m.group(2)),
+                                           float(m.group(3))))
+            elif head == "straggle":
+                m = _STRAGGLE_RE.match(rest)
+                if not m:
+                    raise ConfigError(
+                        f"bad straggle spec {rest!r} (expected p<i>x<f>)")
+                stragglers.append(Straggler(int(m.group(1)),
+                                            float(m.group(2))))
+            elif head == "policy":
+                try:
+                    policy = SensitivePolicy(rest)
+                except ValueError:
+                    raise ConfigError(
+                        f"unknown sensitive policy {rest!r}; "
+                        f"known: fail, relax") from None
+            elif head == "seed":
+                seed = int(rest)
+            else:
+                raise ConfigError(f"unknown fault token {head!r}; known: "
+                                  "crash, loss, spike, straggle, policy, seed")
+        return cls(crashes=tuple(crashes), loss=loss, spikes=tuple(spikes),
+                   stragglers=tuple(stragglers), sensitive_policy=policy,
+                   seed=seed)

@@ -1,0 +1,97 @@
+"""Observability for the fault-injection subsystem.
+
+:class:`FaultStats` aggregates everything a chaos run needs to assert:
+how many messages were dropped (and of which kind), how often thieves
+timed out / retried / backed off, which places crashed, and how much lost
+work was re-executed.  The block is merged into
+:meth:`repro.runtime.stats.RunStats.snapshot` under the ``"faults"`` key
+(only when an injector with a non-empty plan was attached, so fault-free
+snapshots are untouched).
+
+:class:`FaultEvent` is the trace-level record: one entry per injection or
+recovery action, timestamped on the simulation clock, collected by
+:class:`repro.analysis.trace.TraceRecorder` alongside the task records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injection or recovery action on the simulated clock.
+
+    ``kind`` is one of: ``crash``, ``spike_start``, ``spike_end``,
+    ``straggler``, ``task_lost``, ``task_reexec``, ``task_rehomed``,
+    ``sensitive_degraded``, ``task_committed_at_crash``, ``recovered``.
+    """
+
+    time: float
+    kind: str
+    place: int
+    detail: str = ""
+
+
+@dataclass
+class FaultStats:
+    """Aggregated fault-injection counters for one simulation run."""
+
+    #: Packets dropped in flight, by message kind.
+    messages_dropped: Counter = field(default_factory=Counter)
+    #: Transport-level retransmissions priced into :meth:`Network.send`.
+    retransmits: int = 0
+    #: Remote-steal attempts that expired the thief-side timer.
+    steal_timeouts: int = 0
+    #: Remote-steal attempts retried after a timeout.
+    steal_retries: int = 0
+    #: Simulated cycles thieves spent in retry backoff.
+    backoff_cycles: float = 0.0
+    #: Victims placed on the decaying blacklist after exhausted retries.
+    blacklists: int = 0
+    #: Places that fail-stopped, in crash order.
+    places_crashed: List[int] = field(default_factory=list)
+    #: Tasks lost to a crash (queued or in flight, uncommitted).
+    tasks_lost: int = 0
+    #: Lost tasks re-executed by a survivor (exactly once each).
+    tasks_reexecuted: int = 0
+    #: Tasks re-homed at spawn time because their target place was dead.
+    tasks_rehomed: int = 0
+    #: Sensitive tasks degraded to flexible under the ``relax`` policy.
+    sensitive_degraded: int = 0
+    #: Running tasks whose effects had committed when their place crashed
+    #: (counted as completed, not re-executed).
+    committed_at_crash: int = 0
+    #: Cycles from the last crash until every task it lost had re-executed.
+    recovery_latency_cycles: float = 0.0
+
+    @property
+    def dropped_total(self) -> int:
+        """All dropped packets, across kinds."""
+        return sum(self.messages_dropped.values())
+
+    def note_drop(self, kind: str, packets: int) -> None:
+        """Account ``packets`` of one ``kind`` lost in flight."""
+        self.messages_dropped[kind] += packets
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view for reports (deterministically ordered)."""
+        return {
+            "messages_dropped": {k: self.messages_dropped[k]
+                                 for k in sorted(self.messages_dropped)},
+            "dropped_total": self.dropped_total,
+            "retransmits": self.retransmits,
+            "steal_timeouts": self.steal_timeouts,
+            "steal_retries": self.steal_retries,
+            "backoff_cycles": self.backoff_cycles,
+            "blacklists": self.blacklists,
+            "places_crashed": list(self.places_crashed),
+            "tasks_lost": self.tasks_lost,
+            "tasks_reexecuted": self.tasks_reexecuted,
+            "tasks_rehomed": self.tasks_rehomed,
+            "sensitive_degraded": self.sensitive_degraded,
+            "committed_at_crash": self.committed_at_crash,
+            "recovery_latency_cycles": self.recovery_latency_cycles,
+        }

@@ -80,13 +80,22 @@ def run_once(app_name: str, scheduler: str,
              costs: CostModel = DEFAULT_COST_MODEL,
              validate: bool = True,
              sched_kwargs: Optional[dict] = None,
-             app_overrides: Optional[dict] = None) -> RunResult:
-    """Run one (app, scheduler, cluster) cell once."""
+             app_overrides: Optional[dict] = None,
+             fault_plan=None) -> RunResult:
+    """Run one (app, scheduler, cluster) cell once.
+
+    ``fault_plan`` (a resolved :class:`~repro.faults.plan.FaultPlan`)
+    attaches a fault injector to the run, for scripted chaos experiments;
+    the default ``None`` keeps the cell on the fault-free fast path.
+    """
     spec = spec or paper_cluster()
     app = make_app(app_name, scale=scale, seed=app_seed,
                    **(app_overrides or {}))
     sched = make_scheduler(scheduler, **(sched_kwargs or {}))
     rt = SimRuntime(spec, sched, costs=costs, seed=sched_seed)
+    if fault_plan is not None:
+        from repro.faults import FaultInjector
+        FaultInjector(fault_plan).attach(rt)
     t0 = time.perf_counter()
     stats = app.run(rt, validate=validate)
     wall = time.perf_counter() - t0

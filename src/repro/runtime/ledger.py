@@ -1,0 +1,99 @@
+"""The task ledger: exactly-once execution accounting under faults.
+
+When a place fail-stops, every task queued or running (uncommitted) there
+is *lost* and must be re-executed by a survivor — but exactly once: a task
+that runs twice duplicates its real side effects (bodies mutate genuine
+Python state), and a task that never re-runs hangs its ``finish`` scope.
+
+The :class:`TaskLedger` is the runtime's book of record for this
+invariant.  It is only instantiated when a fault injector with a
+non-empty plan attaches, so fault-free runs pay nothing.  The chaos
+benchmarks call :meth:`assert_work_conserved` after a run to prove work
+conservation (every spawned task executed exactly once among survivors).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, Set
+
+from repro.errors import FaultError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.task import Task
+
+
+class TaskLedger:
+    """Tracks spawn / loss / re-execution / completion of every task."""
+
+    def __init__(self) -> None:
+        self._spawned: Set[int] = set()
+        self._executed: Counter = Counter()
+        self._lost: Dict[int, float] = {}
+        self._reexecuted: Set[int] = set()
+
+    # -- recording ---------------------------------------------------------
+    def record_spawn(self, task: "Task") -> None:
+        """A task entered the system via :meth:`SimRuntime.spawn`."""
+        self._spawned.add(task.task_id)
+
+    def record_loss(self, task: "Task", now: float) -> None:
+        """A task was lost to a crash (queued, or in flight uncommitted)."""
+        if task.task_id in self._lost:
+            raise FaultError(
+                f"task {task.task_id} lost twice; fail-stop crashes must "
+                "not overlap on the same task")
+        self._lost[task.task_id] = now
+
+    def record_reexecution(self, task: "Task") -> None:
+        """A lost task was handed to a survivor. Exactly once per task."""
+        if task.task_id not in self._lost:
+            raise FaultError(
+                f"task {task.task_id} re-executed without being lost")
+        if task.task_id in self._reexecuted:
+            raise FaultError(
+                f"task {task.task_id} re-executed twice "
+                "(exactly-once violation)")
+        self._reexecuted.add(task.task_id)
+
+    def record_execution(self, task: "Task") -> None:
+        """A task completed (its effects committed)."""
+        self._executed[task.task_id] += 1
+        if self._executed[task.task_id] > 1:
+            raise FaultError(
+                f"task {task.task_id} completed "
+                f"{self._executed[task.task_id]} times "
+                "(exactly-once violation)")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def lost_count(self) -> int:
+        """Tasks recorded as lost to crashes."""
+        return len(self._lost)
+
+    @property
+    def reexecuted_count(self) -> int:
+        """Lost tasks re-executed by survivors."""
+        return len(self._reexecuted)
+
+    def pending_lost(self) -> Set[int]:
+        """Lost task ids that have not completed yet."""
+        return {tid for tid in self._lost if not self._executed[tid]}
+
+    def assert_work_conserved(self) -> None:
+        """Every spawned task executed exactly once, or raise FaultError."""
+        never_ran = [tid for tid in self._spawned if not self._executed[tid]]
+        if never_ran:
+            raise FaultError(
+                f"{len(never_ran)} task(s) never executed: "
+                f"{sorted(never_ran)[:10]}")
+        multi = [tid for tid, n in self._executed.items() if n > 1]
+        if multi:
+            raise FaultError(
+                f"{len(multi)} task(s) executed more than once: "
+                f"{sorted(multi)[:10]}")
+        unrequited = set(self._lost) - self._reexecuted
+        if unrequited:
+            raise FaultError(
+                f"{len(unrequited)} lost task(s) completed without a "
+                f"recorded re-execution: {sorted(unrequited)[:10]}")

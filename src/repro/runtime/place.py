@@ -31,6 +31,10 @@ class Place:
         #: lifeline pushes, tasks spawned remotely for this home place).
         self.mailbox = Mailbox(env, name=f"mailbox-p{place_id}")
         self.workers: List["Worker"] = []
+        #: Fail-stop flag set by the fault injector: a dead place's workers
+        #: stop permanently and its queues have been drained.  Always False
+        #: in fault-free runs.
+        self.dead = False
         #: Number of activities currently executing on this place's workers.
         self.running_activities = 0
         #: The paper's per-place ``active`` flag: set false after n
@@ -131,5 +135,6 @@ class Place:
         return best.deque
 
     def __repr__(self) -> str:  # pragma: no cover
+        state = " DEAD" if self.dead else ""
         return (f"<Place {self.place_id} running={self.running_activities} "
-                f"queued={self.queued_total()} active={self.active}>")
+                f"queued={self.queued_total()} active={self.active}{state}>")

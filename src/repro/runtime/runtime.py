@@ -60,6 +60,9 @@ class SimRuntime:
         self.done_gate = Gate(self.env, name="termination")
         self.root_finish = FinishScope("root")
         self.root_finish.on_complete(self.done_gate.open)
+        #: Fault injector hook; ``None`` (the default) keeps every fault
+        #: branch in the runtime, network and schedulers switched off.
+        self.faults = None
         self._started = False
 
     # -- spawning ----------------------------------------------------------
@@ -84,6 +87,9 @@ class SimRuntime:
         task.finish.register()
         task.enqueue_time = self.env.now
         self.stats.tasks_spawned += 1
+        if self.faults is not None:
+            # Ledger bookkeeping; may re-home a task whose place is dead.
+            self.faults.on_spawn(task)
         if from_place is not None and from_place != task.home_place:
             # The async itself crosses the network (X10 `async (p) S`).
             self.network.send(from_place, task.home_place,
@@ -104,6 +110,8 @@ class SimRuntime:
         st.work_count += 1
         if task.label:
             st.tasks_by_label[task.label.split("/")[0]] += 1
+        if self.faults is not None:
+            self.faults.on_finished(task)
         assert task.finish is not None
         task.finish.task_done()
 
@@ -133,6 +141,7 @@ class SimRuntime:
         for place in self.places:
             for worker in place.workers:
                 proc = self.env.process(worker.run())
+                worker.proc = proc
                 proc.add_callback(on_worker_exit)
         program(self)
         if self.stats.tasks_spawned == 0:
@@ -142,9 +151,14 @@ class SimRuntime:
         guard = self.env.timeout(max_cycles)
         finished = self.env.run(until=self.env.any_of([done, guard]))
         if self._worker_failures:
+            failure = self._worker_failures[0]
+            from repro.errors import FaultError
+            if isinstance(failure, FaultError):
+                # A fault-policy decision (e.g. fail-fast on an orphaned
+                # sensitive task) is the run's outcome, not a kernel bug.
+                raise failure
             raise SimulationError(
-                "worker process died during the run"
-            ) from self._worker_failures[0]
+                "worker process died during the run") from failure
         if finished is guard or not self.done_gate.is_open:
             raise SimulationError(
                 f"computation did not terminate within {max_cycles:g} cycles "
@@ -168,6 +182,9 @@ class SimRuntime:
         st.messages = net.messages
         st.bytes_transmitted = net.bytes
         st.messages_by_kind = net.by_kind.copy()
+        st.messages_by_pair = net.by_pair.copy()
+        if self.faults is not None:
+            st.faults = self.faults.stats
 
     # -- conveniences ------------------------------------------------------------
     @property

@@ -10,7 +10,10 @@ from __future__ import annotations
 import statistics
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.stats import FaultStats
 
 
 @dataclass
@@ -64,6 +67,11 @@ class RunStats:
     messages: int = 0
     bytes_transmitted: int = 0
     messages_by_kind: Counter = field(default_factory=Counter)
+    #: (src, dst) -> packets (per-link traffic, from the network model).
+    messages_by_pair: Counter = field(default_factory=Counter)
+    #: Fault-injection observables; ``None`` unless an injector with a
+    #: non-empty plan was attached (fault-free snapshots are unchanged).
+    faults: Optional["FaultStats"] = None
     #: Sum and count of task work, for mean-granularity reporting.
     work_sum_cycles: float = 0.0
     work_count: int = 0
@@ -118,6 +126,59 @@ class RunStats:
         """Population standard deviation of node utilizations."""
         util = self.node_utilization()
         return statistics.pstdev(util) if len(util) > 1 else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Complete, deterministically-ordered plain-dict view of the run.
+
+        Everything is JSON-serializable, and two identical runs produce
+        byte-identical ``json.dumps(snapshot, sort_keys=True)`` output —
+        the property the determinism and zero-overhead regression tests
+        assert.  The ``"faults"`` key appears only when fault injection
+        was active.
+        """
+        snap: Dict[str, object] = {
+            "places": self.n_places,
+            "workers_per_place": self.workers_per_place,
+            "makespan_cycles": self.makespan_cycles,
+            "tasks": {
+                "spawned": self.tasks_spawned,
+                "executed": self.tasks_executed,
+                "executed_remote": self.tasks_executed_remote,
+                "by_label": {k: self.tasks_by_label[k]
+                             for k in sorted(self.tasks_by_label)},
+            },
+            "steals": {
+                "local_attempts": self.steals.local_attempts,
+                "local_hits": self.steals.local_hits,
+                "shared_local_attempts": self.steals.shared_local_attempts,
+                "shared_local_hits": self.steals.shared_local_hits,
+                "mailbox_hits": self.steals.mailbox_hits,
+                "remote_attempts": self.steals.remote_attempts,
+                "remote_hits": self.steals.remote_hits,
+                "remote_tasks_received": self.steals.remote_tasks_received,
+                "failed_rounds": self.steals.failed_rounds,
+            },
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "memory": {
+                "remote_references": self.remote_references,
+                "block_migrations": self.block_migrations,
+            },
+            "network": {
+                "messages": self.messages,
+                "bytes": self.bytes_transmitted,
+                "by_kind": {k: self.messages_by_kind[k]
+                            for k in sorted(self.messages_by_kind)},
+                "by_pair": [[src, dst, self.messages_by_pair[(src, dst)]]
+                            for src, dst in sorted(self.messages_by_pair)],
+            },
+            "busy_cycles": [[p, w, self.busy_cycles[(p, w)]]
+                            for p, w in sorted(self.busy_cycles)],
+            "work": {"sum_cycles": self.work_sum_cycles,
+                     "count": self.work_count},
+        }
+        if self.faults is not None:
+            snap["faults"] = self.faults.snapshot()
+        return snap
 
     def summary(self) -> Dict[str, object]:
         """Flat dictionary for table rendering."""

@@ -72,6 +72,7 @@ class Task:
         "reads", "writes", "encapsulates", "copy_back", "closure_bytes",
         "state", "finish", "exec_place", "exec_worker", "stolen_locally",
         "stolen_remotely", "depth", "enqueue_time", "start_time", "end_time",
+        "committed",
     )
 
     def __init__(
@@ -108,6 +109,11 @@ class Task:
         self.exec_worker: Optional[int] = None
         self.stolen_locally = False
         self.stolen_remotely = False
+        #: Whether the task's real effects (body, child spawns) have become
+        #: visible.  Only meaningful under crash-safe execution: a crash
+        #: before the commit point loses the task cleanly (re-executable
+        #: exactly once); a crash after it counts the task as completed.
+        self.committed = False
         self.depth = depth
         self.enqueue_time: float = 0.0
         self.start_time: float = 0.0

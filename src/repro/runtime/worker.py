@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 from repro.cluster.cache import LruCache
 from repro.runtime.deques import PrivateDeque
 from repro.runtime.task import Task, TaskContext, TaskState
+from repro.sim.engine import Interrupt
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +42,11 @@ class Worker:
         self.deque = PrivateDeque(place.place_id, worker_index)
         self.cache = LruCache(runtime.costs.l1_capacity_lines)
         self.executing = False
+        #: Task currently in :meth:`execute` (for crash handling); the
+        #: fault injector reads this to find in-flight work at a crash.
+        self.current_task: Task | None = None
+        #: The simulated process running :meth:`run` (set by the runtime).
+        self.proc = None
         self.task_cycles = 0.0
         self.overhead_cycles = 0.0
         self.tasks_run = 0
@@ -62,11 +68,27 @@ class Worker:
 
     # -- main loop ----------------------------------------------------------
     def run(self) -> Generator[Event, object, None]:
-        """The worker's simulated process body."""
+        """The worker's simulated process body.
+
+        A fail-stop crash of this worker's place (fault injection)
+        delivers an :class:`Interrupt`; the worker then stops permanently
+        — its in-flight task has already been accounted for (re-executed
+        or committed) by the injector.
+        """
+        try:
+            yield from self._run_loop()
+        except Interrupt:
+            if self.place.dead:
+                return  # fail-stop: this worker never runs again
+            raise
+
+    def _run_loop(self) -> Generator[Event, object, None]:
         rt = self.runtime
         env = rt.env
         costs = rt.costs
         while not rt.done_gate.is_open:
+            if self.place.dead:
+                return
             yield env.timeout(costs.private_deque_op)
             self.charge_overhead(costs.private_deque_op)
             task = self.deque.pop()
@@ -94,8 +116,19 @@ class Worker:
 
     # -- execution -------------------------------------------------------------
     def execute(self, task: Task) -> Generator[Event, object, None]:
-        """Run one activity to completion in simulated time."""
+        """Run one activity to completion in simulated time.
+
+        When a fault plan includes crashes, execution defers the *commit*
+        (running the real body and spawning children) until after the
+        work stall, so a fail-stop crash mid-task loses the task cleanly
+        — no real side effects, re-executable exactly once.  The default
+        path below is untouched when no injector is attached.
+        """
         rt = self.runtime
+        faults = rt.faults
+        if faults is not None and faults.crash_safe:
+            yield from self._execute_crash_safe(task)
+            return
         env = rt.env
         costs = rt.costs
         place = self.place
@@ -115,6 +148,8 @@ class Worker:
         self.executing = True
         try:
             cost = task.work
+            if faults is not None:
+                cost *= faults.slow_factor(place.place_id)
             remote = task.exec_place != task.home_place
             # An encapsulating task (§II condition d) carried its data in
             # the closure: the blocks it touches become persistent local
@@ -151,6 +186,77 @@ class Worker:
             yield env.timeout(cost)
         finally:
             self.executing = False
+            place.running_activities -= 1
+        task.state = TaskState.DONE
+        task.end_time = env.now
+        self.task_cycles += env.now - task.start_time
+        self.tasks_run += 1
+        rt.task_finished(task, self)
+
+    def _execute_crash_safe(self, task: Task) -> Generator[Event, object, None]:
+        """Deferred-commit execution for runs with planned crashes.
+
+        The work stall happens *first*; the real body runs, children are
+        spawned, and ``task.committed`` flips only at the commit point.
+        An interrupt (place crash) before the commit leaves no visible
+        effects: the fault injector re-executes the task on a survivor.
+        An interrupt after it finds ``committed`` set and counts the task
+        as done instead.  Memory effects (migrations, cache warming) may
+        partially happen before the commit — data movement, unlike
+        computation results, survives a crash honestly.
+        """
+        rt = self.runtime
+        env = rt.env
+        costs = rt.costs
+        place = self.place
+        faults = rt.faults
+        task.state = TaskState.RUNNING
+        task.exec_place = place.place_id
+        task.exec_worker = self.worker_index
+        if (rt.scheduler.enforces_locality and not task.is_flexible
+                and task.exec_place != task.home_place):
+            from repro.errors import SchedulerError
+            raise SchedulerError(
+                f"locality violation: sensitive task {task.task_id} "
+                f"(home p{task.home_place}) executing at "
+                f"p{task.exec_place} under {rt.scheduler.name}")
+        task.start_time = env.now
+        place.running_activities += 1
+        place.note_assignment()
+        self.executing = True
+        self.current_task = task
+        try:
+            cost = task.work * faults.slow_factor(place.place_id)
+            remote = task.exec_place != task.home_place
+            if task.encapsulates:
+                for block in task.unique_blocks():
+                    cost += rt.memory.migrate(block, place.place_id,
+                                              warm_cache=self.cache)
+            for block in task.reads:
+                cost += rt.memory.access(place.place_id, self.cache, block)
+            for block in task.writes:
+                cost += rt.memory.access(place.place_id, self.cache, block,
+                                         write=True)
+            yield env.timeout(cost)
+            # ---- commit point: effects become visible atomically ----
+            ctx = TaskContext(rt, task, place.place_id, self.worker_index)
+            if task.body is not None:
+                task.body(ctx)
+            children = ctx.drain_children()
+            task.committed = True
+            post = 0.0
+            for child in children:
+                post += costs.spawn_overhead
+                post += rt.scheduler.mapping_cost(child)
+                rt.spawn(child, from_place=place.place_id,
+                         finish=task.finish, from_worker=self)
+            if remote:
+                for block in task.copy_back:
+                    post += rt.memory.copy_back(block, place.place_id)
+            yield env.timeout(post)
+        finally:
+            self.executing = False
+            self.current_task = None
             place.running_activities -= 1
         task.state = TaskState.DONE
         task.end_time = env.now

@@ -80,11 +80,12 @@ class AdaptiveDistWS(DistWS):
             self._push_shared(task)
 
     def mapping_cost(self, task: Task) -> float:
-        costs = self.rt.costs
+        rt = self._bound_runtime()
+        costs = rt.costs
         base = costs.locality_mapping_overhead
         if not self.classify_flexible(task):
             return base + costs.private_deque_op
-        place = self.rt.places[task.home_place]
+        place = rt.places[task.home_place]
         if (not place.active) or place.spares() > 0 \
                 or place.is_under_utilized():
             return base + costs.private_deque_op

@@ -43,12 +43,26 @@ class Scheduler(ABC):
     #: Whether the policy ever steals across places.
     distributed: bool = True
 
+    #: Bounded retry budget per victim when fault injection is active:
+    #: a steal request that times out is retried at most this many times
+    #: (with exponential backoff) before the victim is blacklisted.
+    steal_max_retries: int = 2
+
     def __init__(self) -> None:
         self.rt: Optional["SimRuntime"] = None
+        #: victim place id -> simulated time its blacklist entry expires.
+        self._victim_blacklist: dict[int, float] = {}
 
     def bind(self, runtime: "SimRuntime") -> None:
         """Attach the policy to a runtime (called once per run)."""
         self.rt = runtime
+        self._victim_blacklist = {}
+
+    def _bound_runtime(self) -> "SimRuntime":
+        """The bound runtime, or a clear error before :meth:`bind`."""
+        if self.rt is None:
+            raise SchedulerError("scheduler not bound")
+        return self.rt
 
     # -- mapping -----------------------------------------------------------
     @abstractmethod
@@ -62,7 +76,7 @@ class Scheduler(ABC):
 
     def mapping_cost(self, task: Task) -> float:
         """Cycles the spawning worker pays to map one child task."""
-        return self.rt.costs.private_deque_op
+        return self._bound_runtime().costs.private_deque_op
 
     def _push_shared(self, task: Task) -> None:
         """Push onto the home place's shared deque and advertise surplus."""
@@ -170,57 +184,175 @@ class Scheduler(ABC):
         are deposited in the home place's mailbox for peer workers.
         """
         rt = self.rt
-        env = rt.env
-        costs = rt.costs
-        st = rt.stats.steals
         home = worker.place
+        faulty = rt.faults is not None
         for pj in victim_order:
             if pj == home.place_id:
                 raise SchedulerError("remote steal targeting own place")
             task = self._probe_mailbox(worker)
             if task is not None:
                 return task
-            victim = rt.places[pj]
+            if faulty and self._victim_blacklisted(pj):
+                # Recently unresponsive (crashed or lossy): skip until the
+                # blacklist entry decays.
+                continue
             if self.uses_status_board and not rt.board.has_surplus(pj):
                 # The §VI-B status object says the place has nothing to
                 # steal: skip it without spending a round trip.
                 continue
-            st.remote_attempts += 1
-            # Request message travels to the victim...
-            yield env.timeout(rt.network.send(
-                home.place_id, pj, 64, MSG_STEAL_REQUEST))
-            # ...the thief locks the victim's shared deque remotely...
-            yield victim.shared.lock.acquire()
-            try:
-                yield env.timeout(costs.remote_steal_service)
-                worker.charge_overhead(costs.remote_steal_service)
-                chunk = victim.shared.take_chunk(
-                    self.remote_chunk_size, remote=True)
-                if len(victim.shared) == 0:
-                    rt.board.retract(pj)
-            finally:
-                victim.shared.lock.release()
-            if not chunk:
-                yield env.timeout(rt.network.send(
-                    pj, home.place_id, 64, MSG_STEAL_REPLY))
-                continue
-            st.remote_hits += 1
-            st.remote_tasks_received += len(chunk)
-            # Ship each stolen closure home (closure creation + transfer).
-            delay = 0.0
-            for t in chunk:
-                delay += costs.closure_create
-                worker.charge_overhead(costs.closure_create)
-                delay += rt.network.send(
-                    pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
-            yield env.timeout(delay)
-            first, rest = chunk[0], chunk[1:]
-            for t in rest:
-                home.mailbox.put(t)
-            if rest:
-                home.notify_work()
-            return first
+            if faulty:
+                task = yield from self._attempt_remote_steal_faulty(
+                    worker, pj)
+            else:
+                task = yield from self._attempt_remote_steal(worker, pj)
+            if task is not None:
+                return task
         return None
+
+    def _attempt_remote_steal(self, worker: "Worker", pj: int) -> FindWork:
+        """One distributed steal attempt on victim ``pj`` (reliable net)."""
+        rt = self.rt
+        env = rt.env
+        costs = rt.costs
+        st = rt.stats.steals
+        home = worker.place
+        victim = rt.places[pj]
+        st.remote_attempts += 1
+        # Request message travels to the victim...
+        yield env.timeout(rt.network.send(
+            home.place_id, pj, 64, MSG_STEAL_REQUEST))
+        # ...the thief locks the victim's shared deque remotely...
+        yield victim.shared.lock.acquire()
+        try:
+            yield env.timeout(costs.remote_steal_service)
+            worker.charge_overhead(costs.remote_steal_service)
+            chunk = victim.shared.take_chunk(
+                self.remote_chunk_size, remote=True)
+            if len(victim.shared) == 0:
+                rt.board.retract(pj)
+        finally:
+            victim.shared.lock.release()
+        if not chunk:
+            yield env.timeout(rt.network.send(
+                pj, home.place_id, 64, MSG_STEAL_REPLY))
+            return None
+        task = yield from self._ship_chunk_home(worker, pj, chunk)
+        return task
+
+    def _attempt_remote_steal_faulty(self, worker: "Worker",
+                                     pj: int) -> FindWork:
+        """One distributed steal attempt under fault injection.
+
+        The request travels unreliably: a drop (or a crashed victim)
+        costs the thief a ``steal_timeout`` wait, then a bounded number
+        of retries with exponential backoff.  A victim that stays
+        unresponsive is blacklisted for ``victim_blacklist_cycles`` so
+        subsequent rounds skip it until the entry decays.
+        """
+        rt = self.rt
+        env = rt.env
+        costs = rt.costs
+        st = rt.stats.steals
+        fstats = rt.faults.stats
+        home = worker.place
+        victim = rt.places[pj]
+        retries = 0
+        backoff = costs.steal_retry_backoff
+        while True:
+            if rt.faults.is_dead(pj):
+                self._blacklist_victim(pj)
+                return None
+            st.remote_attempts += 1
+            latency, delivered = rt.network.send_unreliable(
+                home.place_id, pj, 64, MSG_STEAL_REQUEST)
+            if delivered:
+                yield env.timeout(latency)
+                break
+            # The request vanished (dropped en route, or the victim died
+            # under it): wait out the timeout, then back off and retry.
+            yield env.timeout(costs.steal_timeout)
+            fstats.steal_timeouts += 1
+            if retries >= self.steal_max_retries:
+                self._blacklist_victim(pj)
+                return None
+            retries += 1
+            fstats.steal_retries += 1
+            fstats.backoff_cycles += backoff
+            yield env.timeout(backoff)
+            backoff *= 2
+        yield victim.shared.lock.acquire()
+        try:
+            yield env.timeout(costs.remote_steal_service)
+            worker.charge_overhead(costs.remote_steal_service)
+            # A victim that crashed while the request was in flight has
+            # had its deques drained; the chunk simply comes up empty.
+            chunk = victim.shared.take_chunk(
+                self.remote_chunk_size, remote=True)
+            if len(victim.shared) == 0:
+                rt.board.retract(pj)
+        finally:
+            victim.shared.lock.release()
+        if not chunk:
+            latency, delivered = rt.network.send_unreliable(
+                pj, home.place_id, 64, MSG_STEAL_REPLY)
+            if delivered:
+                yield env.timeout(latency)
+            else:
+                # The empty reply was lost; the thief learns nothing and
+                # pays the timeout before moving on.
+                yield env.timeout(costs.steal_timeout)
+                fstats.steal_timeouts += 1
+            return None
+        task = yield from self._ship_chunk_home(worker, pj, chunk)
+        return task
+
+    def _ship_chunk_home(self, worker: "Worker", pj: int,
+                         chunk: List[Task]) -> FindWork:
+        """Ship a stolen chunk to the thief's place; first task returned.
+
+        Uses the reliable transport even under fault injection: the
+        destination is the thief's own (live) place, so a dropped ship is
+        transparently retransmitted rather than losing the closure.
+        """
+        rt = self.rt
+        env = rt.env
+        costs = rt.costs
+        st = rt.stats.steals
+        home = worker.place
+        st.remote_hits += 1
+        st.remote_tasks_received += len(chunk)
+        # Ship each stolen closure home (closure creation + transfer).
+        delay = 0.0
+        for t in chunk:
+            delay += costs.closure_create
+            worker.charge_overhead(costs.closure_create)
+            delay += rt.network.send(
+                pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
+        yield env.timeout(delay)
+        first, rest = chunk[0], chunk[1:]
+        for t in rest:
+            home.mailbox.put(t)
+        if rest:
+            home.notify_work()
+        return first
+
+    # -- victim blacklist (fault injection) ---------------------------------
+    def _victim_blacklisted(self, pj: int) -> bool:
+        """Whether ``pj`` is currently blacklisted (entry decays with time)."""
+        expiry = self._victim_blacklist.get(pj)
+        if expiry is None:
+            return False
+        if self.rt.env.now >= expiry:
+            del self._victim_blacklist[pj]
+            return False
+        return True
+
+    def _blacklist_victim(self, pj: int) -> None:
+        """Blacklist ``pj`` for ``victim_blacklist_cycles`` from now."""
+        rt = self.rt
+        self._victim_blacklist[pj] = (
+            rt.env.now + rt.costs.victim_blacklist_cycles)
+        rt.faults.stats.blacklists += 1
 
     # -- victim orders ---------------------------------------------------------
     def _random_place_order(self, worker: "Worker") -> List[int]:

@@ -78,12 +78,13 @@ class DistWS(Scheduler):
                 self._push_shared(task)
 
     def mapping_cost(self, task: Task) -> float:
-        costs = self.rt.costs
+        rt = self._bound_runtime()
+        costs = rt.costs
         if not task.is_flexible:
             return costs.private_deque_op
         # Consulting the place-status object plus the (possibly shared)
         # deque operation.
-        place = self.rt.places[task.home_place]
+        place = rt.places[task.home_place]
         base = costs.locality_mapping_overhead
         if (not place.active) or place.spares() > 0 or place.is_under_utilized():
             return base + costs.private_deque_op

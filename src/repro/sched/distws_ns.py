@@ -46,8 +46,9 @@ class DistWSNS(Scheduler):
             self._push_shared(task)
 
     def mapping_cost(self, task: Task) -> float:
-        costs = self.rt.costs
-        turn = self._rr.get(self.rt.places[task.home_place].place_id, 0)
+        rt = self._bound_runtime()
+        costs = rt.costs
+        turn = self._rr.get(rt.places[task.home_place].place_id, 0)
         # Alternate the same way map_task will: even turns go private.
         return (costs.private_deque_op if turn % 2 == 0
                 else costs.shared_deque_op)

@@ -75,3 +75,12 @@ class TestRoundTrip:
         snap = network.stats.snapshot()
         assert snap["messages"] == 1
         assert isinstance(snap["by_kind"], dict)
+
+    def test_snapshot_by_pair_rows_sorted(self, network):
+        network.send(2, 0, 10, MSG_DATA_BLOCK)
+        network.send(0, 1, 10, MSG_DATA_BLOCK)
+        network.send(0, 1, 10, MSG_DATA_BLOCK)
+        snap = network.stats.snapshot()
+        # [src, dst, packets] rows, sorted by (src, dst) so snapshots are
+        # deterministic and JSON-serializable.
+        assert snap["by_pair"] == [[0, 1, 2], [2, 0, 1]]

@@ -1,0 +1,33 @@
+"""Shared helpers for the fault-injection tests.
+
+The workhorse is :func:`fanout_program`: a flat fan-out of
+locality-flexible leaf tasks spread round-robin over the places — small
+enough to run fast, wide enough that a mid-run crash loses both queued
+and in-flight tasks.
+"""
+
+from __future__ import annotations
+
+from repro.apgas import Apgas
+
+
+def fanout_program(n_tasks, work=1_000_000, n_places=4, flexible=True,
+                   executed=None):
+    """A flat fan-out of leaf tasks, homes assigned round-robin.
+
+    ``executed`` (a list) collects each leaf's index when its body runs,
+    so tests can assert exactly-once execution by value.
+    """
+    def program(rt):
+        ap = Apgas(rt)
+
+        def leaf(i):
+            def body(ctx):
+                if executed is not None:
+                    executed.append(i)
+            return body
+
+        for i in range(n_tasks):
+            ap.async_at(i % n_places, leaf(i), work=work,
+                        flexible=flexible, label="leaf")
+    return program

@@ -1,0 +1,31 @@
+"""Same seed + same fault plan => byte-identical run snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime.runtime import SimRuntime
+from repro.sched import make_scheduler
+
+from tests.faults.conftest import fanout_program
+
+SPEC = ("crash:p2@6e6,loss:steal=0.1,straggle:p1x2,"
+        "policy:relax,seed:11")
+
+
+def run_once(scheduler_name, seed):
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler(scheduler_name), seed=seed)
+    FaultInjector(FaultPlan.parse(SPEC)).attach(rt)
+    stats = rt.run(fanout_program(24, work=1_000_000, n_places=4))
+    return json.dumps(stats.snapshot(), sort_keys=True)
+
+
+@pytest.mark.parametrize("scheduler_name", ["DistWS", "RandomWS"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_chaos_runs_are_reproducible(scheduler_name, seed):
+    assert run_once(scheduler_name, seed) == run_once(scheduler_name, seed)

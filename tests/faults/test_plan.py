@@ -1,0 +1,102 @@
+"""Unit tests for the fault-plan grammar, resolution and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import (
+    MSG_STEAL_REPLY,
+    MSG_STEAL_REQUEST,
+    MSG_TASK_SHIP,
+)
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, LatencySpike, PlaceCrash, SensitivePolicy
+
+
+class TestParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "crash:p2@0.4,loss:steal=0.05,spike:@0.3+0.2x8,"
+            "straggle:p1x4,policy:relax,seed:7")
+        assert plan.crashes == (PlaceCrash(2, 0.4),)
+        assert plan.loss[MSG_STEAL_REQUEST] == 0.05
+        assert plan.loss[MSG_STEAL_REPLY] == 0.05
+        assert plan.spikes == (LatencySpike(0.3, 0.2, 8.0),)
+        assert plan.stragglers[0].place == 1
+        assert plan.stragglers[0].factor == 4.0
+        assert plan.sensitive_policy is SensitivePolicy.RELAX
+        assert plan.seed == 7
+
+    def test_ship_alias_and_absolute_times(self):
+        plan = FaultPlan.parse("crash:p0@3e6,loss:ship=0.02")
+        assert plan.crashes == (PlaceCrash(0, 3e6),)
+        assert plan.loss == {MSG_TASK_SHIP: 0.02}
+        assert not plan.needs_horizon
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.parse("").is_empty
+        assert FaultPlan.parse(" , ").is_empty
+
+    def test_default_policy_is_fail_fast(self):
+        plan = FaultPlan.parse("crash:p1@0.5")
+        assert plan.sensitive_policy is SensitivePolicy.FAIL_FAST
+
+    @pytest.mark.parametrize("spec", [
+        "crash:2@0.4",          # missing the p prefix
+        "crash:p2",             # missing the time
+        "loss:steal",           # missing the probability
+        "spike:0.3+0.2x8",      # missing the @ prefix
+        "straggle:p1",          # missing the factor
+        "policy:never",         # unknown policy
+        "nonsense:1",           # unknown token kind
+        "justaword",            # no kind:args shape at all
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(spec)
+
+
+class TestResolution:
+    def test_fractions_scale_by_horizon(self):
+        plan = FaultPlan.parse("crash:p2@0.4,spike:@0.25+0.5x3")
+        assert plan.needs_horizon
+        resolved = plan.resolved(1_000_000)
+        assert resolved.crashes[0].at == 400_000
+        assert resolved.spikes[0].start == 250_000
+        assert resolved.spikes[0].duration == 500_000
+        assert not resolved.needs_horizon
+
+    def test_absolute_times_untouched(self):
+        plan = FaultPlan.parse("crash:p2@5e6")
+        assert plan.resolved(100).crashes[0].at == 5e6
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("crash:p1@0.5").resolved(0)
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        FaultPlan.parse("crash:p2@0.4,loss:steal=0.1").validate(4)
+
+    def test_nonexistent_place(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("crash:p9@0.4").validate(4)
+
+    def test_double_crash(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("crash:p1@0.2,crash:p1@0.6").validate(4)
+
+    def test_no_survivors(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("crash:p0@0.2,crash:p1@0.6").validate(2)
+
+    def test_certain_loss_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("loss:steal=1.0").validate(4)
+
+    def test_sub_unity_factors_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("straggle:p1x0.5").validate(4)
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("spike:@2+2x0.5").validate(4)

@@ -1,0 +1,43 @@
+"""The zero-overhead guarantee: an empty plan changes nothing at all.
+
+Attaching an empty :class:`FaultPlan` must leave the run's
+:meth:`RunStats.snapshot` byte-identical to a run with no injector —
+the fault branches in the runtime, network and schedulers all
+short-circuit on ``faults is None``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime.runtime import SimRuntime
+from repro.sched import make_scheduler
+
+from tests.faults.conftest import fanout_program
+
+
+def run_once(scheduler_name, attach_empty_plan):
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler(scheduler_name), seed=7)
+    if attach_empty_plan:
+        FaultInjector(FaultPlan()).attach(rt)
+    stats = rt.run(fanout_program(24, work=500_000, n_places=4))
+    return json.dumps(stats.snapshot(), sort_keys=True)
+
+
+@pytest.mark.parametrize("scheduler_name", ["DistWS", "X10WS"])
+def test_empty_plan_is_byte_identical(scheduler_name):
+    assert (run_once(scheduler_name, attach_empty_plan=False)
+            == run_once(scheduler_name, attach_empty_plan=True))
+
+
+def test_empty_plan_snapshot_has_no_faults_key():
+    spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler("DistWS"), seed=1)
+    FaultInjector(FaultPlan()).attach(rt)
+    stats = rt.run(fanout_program(8, work=100_000, n_places=2))
+    assert "faults" not in stats.snapshot()

@@ -78,3 +78,38 @@ class TestDerivedMetrics:
         for key in ("places", "workers", "makespan_cycles", "steals",
                     "l1_miss_rate", "utilization_spread"):
             assert key in s
+
+
+class TestSnapshot:
+    def make(self):
+        st = RunStats(n_places=2, workers_per_place=2)
+        st.makespan_cycles = 1000.0
+        st.tasks_spawned = 10
+        st.tasks_executed = 10
+        st.busy_cycles[(1, 0)] = 200.0
+        st.busy_cycles[(0, 1)] = 600.0
+        st.messages_by_kind["task_ship"] = 3
+        st.messages_by_pair[(1, 0)] = 2
+        st.messages_by_pair[(0, 1)] = 1
+        st.tasks_by_label["leaf"] = 10
+        return st
+
+    def test_snapshot_is_json_serializable_and_ordered(self):
+        import json
+        snap = self.make().snapshot()
+        json.dumps(snap)  # no Counters / tuples leak through
+        assert snap["tasks"]["spawned"] == 10
+        assert snap["network"]["by_pair"] == [[0, 1, 1], [1, 0, 2]]
+        assert snap["busy_cycles"] == [[0, 1, 600.0], [1, 0, 200.0]]
+
+    def test_no_faults_key_without_injection(self):
+        assert "faults" not in self.make().snapshot()
+
+    def test_faults_block_merged_when_present(self):
+        from repro.faults import FaultStats
+        st = self.make()
+        st.faults = FaultStats()
+        st.faults.note_drop("task_ship", 2)
+        snap = st.snapshot()
+        assert snap["faults"]["dropped_total"] == 2
+        assert snap["faults"]["messages_dropped"] == {"task_ship": 2}
