@@ -189,6 +189,10 @@ class FaultInjector:
                 proc.interrupt("place-crash")
         lost: List["Task"] = []
         for w in place.workers:
+            # Stolen chunks still in flight to this place: the tasks left
+            # the victim's deque but never reached the mailbox.
+            lost.extend(w.pending_chunk)
+            w.pending_chunk = []
             while True:
                 t = w.deque.pop()
                 if t is None:
@@ -220,7 +224,13 @@ class FaultInjector:
             self._relocate(task, place_id)
 
     def _relocate(self, task: "Task", dead_place: int) -> None:
-        """Hand one lost task to a survivor, exactly once."""
+        """Hand one lost task to a survivor, exactly once per loss.
+
+        Under multi-crash plans the chosen survivor may itself crash
+        later while the task is still queued there; the task is then
+        simply lost and relocated again (the ledger balances every loss
+        against one relocation, and completion stays exactly-once).
+        """
         rt = self.rt
         self._require_relocatable(task)
         self.ledger.record_loss(task, rt.env.now)

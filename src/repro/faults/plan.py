@@ -102,6 +102,29 @@ def _is_fraction(value: float) -> bool:
     return 0.0 < value <= 1.0
 
 
+def _float(text: str, token: str) -> float:
+    """``float(text)`` with malformed input reported as a ConfigError.
+
+    The spec regexes are deliberately permissive (``[0-9.eE+-]+``), so
+    strings like ``1e`` or ``--3`` reach the conversion; the CLI must see
+    a :class:`ConfigError` naming the token, not a bare ``ValueError``.
+    """
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(
+            f"bad number {text!r} in fault token {token!r}") from None
+
+
+def _int(text: str, token: str) -> int:
+    """``int(text)`` with malformed input reported as a ConfigError."""
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigError(
+            f"bad integer {text!r} in fault token {token!r}") from None
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong during one run."""
@@ -199,7 +222,8 @@ class FaultPlan:
                 if not m:
                     raise ConfigError(
                         f"bad crash spec {rest!r} (expected p<i>@<t>)")
-                crashes.append(PlaceCrash(int(m.group(1)), float(m.group(2))))
+                crashes.append(PlaceCrash(int(m.group(1)),
+                                          _float(m.group(2), token)))
             elif head == "loss":
                 name, eq, prob = rest.partition("=")
                 if not eq:
@@ -207,23 +231,23 @@ class FaultPlan:
                         f"bad loss spec {rest!r} (expected kind=prob)")
                 kinds = _LOSS_ALIASES.get(name, (name,))
                 for kind in kinds:
-                    loss[kind] = float(prob)
+                    loss[kind] = _float(prob, token)
             elif head == "spike":
                 m = _SPIKE_RE.match(rest)
                 if not m:
                     raise ConfigError(
                         f"bad spike spec {rest!r} "
                         "(expected @<start>+<duration>x<factor>)")
-                spikes.append(LatencySpike(float(m.group(1)),
-                                           float(m.group(2)),
-                                           float(m.group(3))))
+                spikes.append(LatencySpike(_float(m.group(1), token),
+                                           _float(m.group(2), token),
+                                           _float(m.group(3), token)))
             elif head == "straggle":
                 m = _STRAGGLE_RE.match(rest)
                 if not m:
                     raise ConfigError(
                         f"bad straggle spec {rest!r} (expected p<i>x<f>)")
                 stragglers.append(Straggler(int(m.group(1)),
-                                            float(m.group(2))))
+                                            _float(m.group(2), token)))
             elif head == "policy":
                 try:
                     policy = SensitivePolicy(rest)
@@ -232,7 +256,7 @@ class FaultPlan:
                         f"unknown sensitive policy {rest!r}; "
                         f"known: fail, relax") from None
             elif head == "seed":
-                seed = int(rest)
+                seed = _int(rest, token)
             else:
                 raise ConfigError(f"unknown fault token {head!r}; known: "
                                   "crash, loss, spike, straggle, policy, seed")

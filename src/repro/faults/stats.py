@@ -53,9 +53,11 @@ class FaultStats:
     blacklists: int = 0
     #: Places that fail-stopped, in crash order.
     places_crashed: List[int] = field(default_factory=list)
-    #: Tasks lost to a crash (queued or in flight, uncommitted).
+    #: Task-loss events (a task whose survivor also crashes counts once
+    #: per loss; queued or in flight, uncommitted).
     tasks_lost: int = 0
-    #: Lost tasks re-executed by a survivor (exactly once each).
+    #: Relocations of lost tasks to a survivor (one per loss event;
+    #: completion remains exactly-once).
     tasks_reexecuted: int = 0
     #: Tasks re-homed at spawn time because their target place was dead.
     tasks_rehomed: int = 0

@@ -5,6 +5,14 @@ is *lost* and must be re-executed by a survivor — but exactly once: a task
 that runs twice duplicates its real side effects (bodies mutate genuine
 Python state), and a task that never re-runs hangs its ``finish`` scope.
 
+Under multi-crash plans a task can be lost more than once: relocation
+picks a survivor of the *current* crash, and nothing stops that survivor
+from fail-stopping later (or from the task being stolen onto a place that
+does) while the task is still queued.  The ledger therefore tracks loss
+and relocation as balanced *counters* per task — every loss must be
+answered by exactly one relocation before the next loss — while
+completion stays strictly exactly-once.
+
 The :class:`TaskLedger` is the runtime's book of record for this
 invariant.  It is only instantiated when a fault injector with a
 non-empty plan attaches, so fault-free runs pay nothing.  The chaos
@@ -29,8 +37,12 @@ class TaskLedger:
     def __init__(self) -> None:
         self._spawned: Set[int] = set()
         self._executed: Counter = Counter()
-        self._lost: Dict[int, float] = {}
-        self._reexecuted: Set[int] = set()
+        #: Loss events per task (a task may be lost to several crashes).
+        self._losses: Counter = Counter()
+        #: Relocations per task; must always trail losses by at most one.
+        self._reexecutions: Counter = Counter()
+        #: Simulated time of each task's most recent loss.
+        self._lost_at: Dict[int, float] = {}
 
     # -- recording ---------------------------------------------------------
     def record_spawn(self, task: "Task") -> None:
@@ -38,23 +50,34 @@ class TaskLedger:
         self._spawned.add(task.task_id)
 
     def record_loss(self, task: "Task", now: float) -> None:
-        """A task was lost to a crash (queued, or in flight uncommitted)."""
-        if task.task_id in self._lost:
+        """A task was lost to a crash (queued, or in flight uncommitted).
+
+        Legal any number of times, provided every earlier loss was
+        answered by a relocation — losing a task while it is still
+        awaiting relocation means two crash handlers claimed it at once.
+        """
+        tid = task.task_id
+        if self._losses[tid] != self._reexecutions[tid]:
             raise FaultError(
-                f"task {task.task_id} lost twice; fail-stop crashes must "
-                "not overlap on the same task")
-        self._lost[task.task_id] = now
+                f"task {tid} lost again while awaiting relocation; "
+                "crash handlers must not overlap on the same task")
+        if self._executed[tid]:
+            raise FaultError(
+                f"completed task {tid} recorded as lost")
+        self._losses[tid] += 1
+        self._lost_at[tid] = now
 
     def record_reexecution(self, task: "Task") -> None:
-        """A lost task was handed to a survivor. Exactly once per task."""
-        if task.task_id not in self._lost:
+        """A lost task was handed to a survivor. Exactly once per loss."""
+        tid = task.task_id
+        if self._reexecutions[tid] >= self._losses[tid]:
+            if not self._losses[tid]:
+                raise FaultError(
+                    f"task {tid} re-executed without being lost")
             raise FaultError(
-                f"task {task.task_id} re-executed without being lost")
-        if task.task_id in self._reexecuted:
-            raise FaultError(
-                f"task {task.task_id} re-executed twice "
+                f"task {tid} relocated twice for one loss "
                 "(exactly-once violation)")
-        self._reexecuted.add(task.task_id)
+        self._reexecutions[tid] += 1
 
     def record_execution(self, task: "Task") -> None:
         """A task completed (its effects committed)."""
@@ -68,17 +91,22 @@ class TaskLedger:
     # -- queries -----------------------------------------------------------
     @property
     def lost_count(self) -> int:
-        """Tasks recorded as lost to crashes."""
-        return len(self._lost)
+        """Distinct tasks lost to crashes (not loss events)."""
+        return len(self._losses)
+
+    @property
+    def loss_events(self) -> int:
+        """Total loss events, counting a twice-lost task twice."""
+        return sum(self._losses.values())
 
     @property
     def reexecuted_count(self) -> int:
-        """Lost tasks re-executed by survivors."""
-        return len(self._reexecuted)
+        """Distinct lost tasks re-executed by survivors."""
+        return len(self._reexecutions)
 
     def pending_lost(self) -> Set[int]:
         """Lost task ids that have not completed yet."""
-        return {tid for tid in self._lost if not self._executed[tid]}
+        return {tid for tid in self._losses if not self._executed[tid]}
 
     def assert_work_conserved(self) -> None:
         """Every spawned task executed exactly once, or raise FaultError."""
@@ -92,7 +120,8 @@ class TaskLedger:
             raise FaultError(
                 f"{len(multi)} task(s) executed more than once: "
                 f"{sorted(multi)[:10]}")
-        unrequited = set(self._lost) - self._reexecuted
+        unrequited = [tid for tid in self._losses
+                      if self._reexecutions[tid] < self._losses[tid]]
         if unrequited:
             raise FaultError(
                 f"{len(unrequited)} lost task(s) completed without a "

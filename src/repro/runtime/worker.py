@@ -45,6 +45,12 @@ class Worker:
         #: Task currently in :meth:`execute` (for crash handling); the
         #: fault injector reads this to find in-flight work at a crash.
         self.current_task: Task | None = None
+        #: Stolen chunk in transit to this worker's place: populated from
+        #: the instant the tasks leave the victim's shared deque until
+        #: they land in the home mailbox / start executing.  The fault
+        #: injector drains it at a crash — these tasks are otherwise
+        #: invisible (neither queued nor anyone's ``current_task``).
+        self.pending_chunk: list[Task] = []
         #: The simulated process running :meth:`run` (set by the runtime).
         self.proc = None
         self.task_cycles = 0.0

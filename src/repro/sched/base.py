@@ -52,11 +52,15 @@ class Scheduler(ABC):
         self.rt: Optional["SimRuntime"] = None
         #: victim place id -> simulated time its blacklist entry expires.
         self._victim_blacklist: dict[int, float] = {}
+        #: victim place id -> consecutive blacklist strikes; each strike
+        #: doubles the next entry's span, a successful steal resets it.
+        self._victim_strikes: dict[int, int] = {}
 
     def bind(self, runtime: "SimRuntime") -> None:
         """Attach the policy to a runtime (called once per run)."""
         self.rt = runtime
         self._victim_blacklist = {}
+        self._victim_strikes = {}
 
     def _bound_runtime(self) -> "SimRuntime":
         """The bound runtime, or a clear error before :meth:`bind`."""
@@ -246,8 +250,9 @@ class Scheduler(ABC):
         The request travels unreliably: a drop (or a crashed victim)
         costs the thief a ``steal_timeout`` wait, then a bounded number
         of retries with exponential backoff.  A victim that stays
-        unresponsive is blacklisted for ``victim_blacklist_cycles`` so
-        subsequent rounds skip it until the entry decays.
+        unresponsive is blacklisted (``victim_blacklist_cycles``,
+        doubling per consecutive strike) so subsequent rounds skip it
+        until the entry decays; a successful steal resets the strikes.
         """
         rt = self.rt
         env = rt.env
@@ -303,6 +308,7 @@ class Scheduler(ABC):
                 yield env.timeout(costs.steal_timeout)
                 fstats.steal_timeouts += 1
             return None
+        self._note_steal_success(pj)
         task = yield from self._ship_chunk_home(worker, pj, chunk)
         return task
 
@@ -313,6 +319,15 @@ class Scheduler(ABC):
         Uses the reliable transport even under fault injection: the
         destination is the thief's own (live) place, so a dropped ship is
         transparently retransmitted rather than losing the closure.
+
+        While the ship is in flight the tasks live nowhere the fault
+        injector can see (they left the victim's deque, are not yet in
+        the home mailbox, and are nobody's ``current_task``), so the
+        chunk is parked on ``worker.pending_chunk``: a crash of the
+        thief's place mid-transfer relocates it like any queued work.
+        The hand-off out of ``pending_chunk`` is synchronous — the
+        mailbox deposit happens in the same step, and the first task
+        becomes the worker's ``current_task`` before its next yield.
         """
         rt = self.rt
         env = rt.env
@@ -321,6 +336,7 @@ class Scheduler(ABC):
         home = worker.place
         st.remote_hits += 1
         st.remote_tasks_received += len(chunk)
+        worker.pending_chunk = chunk
         # Ship each stolen closure home (closure creation + transfer).
         delay = 0.0
         for t in chunk:
@@ -329,6 +345,7 @@ class Scheduler(ABC):
             delay += rt.network.send(
                 pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
         yield env.timeout(delay)
+        worker.pending_chunk = []
         first, rest = chunk[0], chunk[1:]
         for t in rest:
             home.mailbox.put(t)
@@ -348,11 +365,23 @@ class Scheduler(ABC):
         return True
 
     def _blacklist_victim(self, pj: int) -> None:
-        """Blacklist ``pj`` for ``victim_blacklist_cycles`` from now."""
+        """Blacklist ``pj``, doubling the span per consecutive strike.
+
+        The first strike lasts ``victim_blacklist_cycles``; every further
+        strike without an intervening successful steal doubles the span
+        (capped), so a dead place is probed geometrically less often.
+        :meth:`_note_steal_success` resets the strike count.
+        """
         rt = self.rt
-        self._victim_blacklist[pj] = (
-            rt.env.now + rt.costs.victim_blacklist_cycles)
+        strikes = self._victim_strikes.get(pj, 0)
+        span = rt.costs.victim_blacklist_cycles * (2 ** min(strikes, 16))
+        self._victim_blacklist[pj] = rt.env.now + span
+        self._victim_strikes[pj] = strikes + 1
         rt.faults.stats.blacklists += 1
+
+    def _note_steal_success(self, pj: int) -> None:
+        """A steal from ``pj`` succeeded: clear its strike history."""
+        self._victim_strikes.pop(pj, None)
 
     # -- victim orders ---------------------------------------------------------
     def _random_place_order(self, worker: "Worker") -> List[int]:

@@ -169,6 +169,10 @@ class Process(Event):
                 target.callbacks.remove(self._resume)  # type: ignore[union-attr]
             except (ValueError, AttributeError):
                 pass
+            # If the event sits in a resource's waiter queue (e.g. a
+            # SimLock acquire), the resource must not hand over to this
+            # now-dead process — it would strand the lock forever.
+            target._abandoned = True
         self._waiting_on = None
         wake = Event(self.env)
         wake.add_callback(lambda ev: self._throw(Interrupt(cause)))

@@ -35,7 +35,8 @@ class Event:
         The environment that will schedule this event's callbacks.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled",
+                 "_abandoned")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -44,6 +45,10 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._scheduled = False
+        #: Set when the process waiting on this event was interrupted
+        #: (e.g. a place crash): resources holding the event in a waiter
+        #: queue must skip it instead of handing over to a dead process.
+        self._abandoned = False
 
     # -- state ------------------------------------------------------------
     @property

@@ -73,14 +73,21 @@ class SimLock:
         return True
 
     def release(self) -> None:
-        """Release the lock, handing it to the oldest waiter if any."""
+        """Release the lock, handing it to the oldest waiter if any.
+
+        Waiters whose process was interrupted while queued (a crashed
+        place's thief) are skipped: handing ownership to a dead process
+        would hold the lock forever.
+        """
         if not self._locked:
             raise SimulationError(f"release of unheld lock {self.name!r}")
-        if self._waiters:
+        while self._waiters:
             nxt = self._waiters.popleft()
+            if nxt._abandoned:
+                continue
             nxt.succeed(self)  # lock stays held, ownership transfers
-        else:
-            self._locked = False
+            return
+        self._locked = False
 
 
 class Gate:

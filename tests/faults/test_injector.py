@@ -109,6 +109,53 @@ class TestCrashRecovery:
         stats_inj.ledger.assert_work_conserved()
 
 
+class TestCrashDuringStealWindows:
+    """Crashes timed into the thief-side steal machinery.
+
+    With every task homed at p0, places 1-3 bootstrap purely through
+    distributed steals, so early crash times land while p1's thieves are
+    queued on p0's shared-deque lock or holding a stolen chunk in flight
+    — tasks that are neither queued nor anyone's ``current_task``.  Work
+    conservation must hold regardless (this sweep hangs at ``max_cycles``
+    if an in-transit chunk is dropped or a dead waiter strands the lock).
+    """
+
+    def test_crash_sweep_over_steal_storm(self):
+        for at in range(10_000, 110_000, 10_000):
+            plan = FaultPlan.parse(f"crash:p1@{at}")
+            rt = SimRuntime(spec(), DistWS(), seed=1)
+            inj = FaultInjector(plan).attach(rt)
+            executed = []
+            stats = rt.run(fanout_program(N_TASKS, work=WORK, n_places=1,
+                                          executed=executed),
+                           max_cycles=1e9)
+            assert sorted(executed) == list(range(N_TASKS)), f"crash@{at}"
+            inj.ledger.assert_work_conserved()
+            assert stats.tasks_executed == stats.tasks_spawned
+        # After every run, no worker still holds an in-transit chunk.
+        for p in rt.places:
+            for w in p.workers:
+                assert w.pending_chunk == []
+
+    def test_task_lost_twice_is_relocated_again(self):
+        # p2, a survivor of the first crash, crashes while tasks
+        # relocated from p1 are still queued there: those tasks are lost
+        # a second time and must move again, not abort the run.
+        plan = FaultPlan.parse("crash:p1@4e5,crash:p2@5e5")
+        rt = SimRuntime(spec(), DistWS(), seed=1)
+        inj = FaultInjector(plan).attach(rt)
+        executed = []
+        stats = rt.run(fanout_program(N_TASKS, work=WORK,
+                                      n_places=N_PLACES, executed=executed))
+        assert sorted(executed) == list(range(N_TASKS))
+        inj.ledger.assert_work_conserved()
+        assert stats.faults.places_crashed == [1, 2]
+        # At least one task was caught by both crashes.
+        assert inj.ledger.loss_events > inj.ledger.lost_count
+        # Every loss event was answered by exactly one relocation.
+        assert stats.faults.tasks_reexecuted == stats.faults.tasks_lost
+
+
 class TestOtherFaults:
     def test_straggler_slows_the_run(self):
         base = fault_free_makespan()

@@ -50,6 +50,11 @@ class TestParse:
         "policy:never",         # unknown policy
         "nonsense:1",           # unknown token kind
         "justaword",            # no kind:args shape at all
+        "loss:steal=abc",       # non-numeric probability
+        "seed:x",               # non-integer seed
+        "crash:p1@1e",          # passes the regex, fails float()
+        "spike:@1e++2x3",       # malformed exponent in a spike time
+        "straggle:p1x-",        # bare sign as a factor
     ])
     def test_malformed_specs_rejected(self, spec):
         with pytest.raises(ConfigError):

@@ -1,0 +1,71 @@
+"""Victim-blacklist strike semantics (fault injection, sched/base.py).
+
+The cost model promises: the blacklist span starts at
+``victim_blacklist_cycles``, doubles per consecutive strike, expires on
+its own, and resets after a successful steal.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import ClusterSpec
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime.runtime import SimRuntime
+from repro.sched import DistWS
+
+
+def bound_scheduler():
+    """A DistWS bound to a runtime with an (inactive-crash) fault plan."""
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    sched = DistWS()
+    rt = SimRuntime(spec, sched, seed=0)
+    FaultInjector(FaultPlan.parse("loss:steal=0.1")).attach(rt)
+    return rt, sched
+
+
+class TestBlacklistStrikes:
+    def test_span_doubles_per_consecutive_strike(self):
+        rt, sched = bound_scheduler()
+        base = rt.costs.victim_blacklist_cycles
+        for expected in (base, 2 * base, 4 * base, 8 * base):
+            sched._blacklist_victim(3)
+            assert sched._victim_blacklist[3] == rt.env.now + expected
+        assert rt.faults.stats.blacklists == 4
+
+    def test_successful_steal_resets_strikes(self):
+        rt, sched = bound_scheduler()
+        base = rt.costs.victim_blacklist_cycles
+        sched._blacklist_victim(3)
+        sched._blacklist_victim(3)
+        assert sched._victim_blacklist[3] == rt.env.now + 2 * base
+        sched._note_steal_success(3)
+        sched._blacklist_victim(3)
+        assert sched._victim_blacklist[3] == rt.env.now + base
+
+    def test_strikes_are_per_victim(self):
+        rt, sched = bound_scheduler()
+        base = rt.costs.victim_blacklist_cycles
+        sched._blacklist_victim(1)
+        sched._blacklist_victim(1)
+        sched._blacklist_victim(2)
+        assert sched._victim_blacklist[1] == rt.env.now + 2 * base
+        assert sched._victim_blacklist[2] == rt.env.now + base
+
+    def test_entry_decays_but_strikes_persist(self):
+        rt, sched = bound_scheduler()
+        base = rt.costs.victim_blacklist_cycles
+        sched._blacklist_victim(3)
+        assert sched._victim_blacklisted(3)
+        rt.env.run(until=rt.env.now + base + 1)
+        # The entry expired on its own...
+        assert not sched._victim_blacklisted(3)
+        assert 3 not in sched._victim_blacklist
+        # ...but without a successful steal the next strike still doubles.
+        sched._blacklist_victim(3)
+        assert sched._victim_blacklist[3] == rt.env.now + 2 * base
+
+    def test_doubling_is_capped(self):
+        rt, sched = bound_scheduler()
+        base = rt.costs.victim_blacklist_cycles
+        for _ in range(40):
+            sched._blacklist_victim(3)
+        assert sched._victim_blacklist[3] == rt.env.now + base * 2 ** 16

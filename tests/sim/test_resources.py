@@ -82,6 +82,68 @@ class TestSimLock:
         # Held, one waiter queued: try_acquire must not jump the queue.
         assert not lock.try_acquire()
 
+    def test_interrupted_waiter_skipped_on_release(self, env):
+        """A waiter whose process died must not be handed the lock."""
+        lock = SimLock(env)
+        got = []
+
+        def holder():
+            yield lock.acquire()
+            yield env.timeout(100)
+            lock.release()
+
+        def waiter(name):
+            yield lock.acquire()
+            got.append((name, env.now))
+            lock.release()
+
+        env.process(holder())
+        doomed = env.process(waiter("doomed"))
+        env.process(waiter("survivor"))
+
+        def killer():
+            yield env.timeout(50)
+            doomed.interrupt("crash")
+
+        env.process(killer())
+        env.run()
+        # Ownership skipped the dead waiter and reached the live one.
+        assert got == [("survivor", 100.0)]
+        assert not lock.locked
+
+    def test_release_with_only_dead_waiters_unlocks(self, env):
+        lock = SimLock(env)
+        got = []
+
+        def holder():
+            yield lock.acquire()
+            yield env.timeout(100)
+            lock.release()
+
+        def waiter():
+            yield lock.acquire()
+            got.append(env.now)
+            lock.release()
+
+        env.process(holder())
+        doomed = env.process(waiter())
+
+        def killer():
+            yield env.timeout(50)
+            doomed.interrupt("crash")
+
+        env.process(killer())
+
+        def late_acquirer():
+            yield env.timeout(200)
+            assert lock.try_acquire()
+            lock.release()
+
+        env.process(late_acquirer())
+        env.run()
+        assert got == []
+        assert not lock.locked
+
 
 class TestGate:
     def test_wait_blocks_until_open(self, env):
