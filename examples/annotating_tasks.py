@@ -73,7 +73,8 @@ def main() -> None:
     print(f"tasks executed   : {stats.tasks_executed}")
     print(f"executed remotely: {stats.tasks_executed_remote} "
           "(only flexible 'summarize' tasks may travel)")
-    print(f"makespan         : {stats.makespan_cycles / 2e6:.2f} ms")
+    print(f"makespan         : "
+          f"{stats.makespan_cycles / rt.costs.cycles_per_ms:.2f} ms")
     print(f"node utilization : "
           f"{[round(u, 2) for u in stats.node_utilization()]}")
 

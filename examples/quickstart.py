@@ -30,7 +30,8 @@ def main() -> None:
         runtime = SimRuntime(spec, sched, seed=1)
         stats = app.run(runtime)  # validates against the oracle
         results[sched.name] = stats
-        print(f"{sched.name:8s} makespan={stats.makespan_cycles/2e6:8.2f} ms"
+        ms = stats.makespan_cycles / runtime.costs.cycles_per_ms
+        print(f"{sched.name:8s} makespan={ms:8.2f} ms"
               f"  steals={stats.steals.total_steals:5d}"
               f"  remote tasks={stats.tasks_executed_remote:4d}"
               f"  messages={stats.messages:6d}"

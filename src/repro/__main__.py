@@ -4,6 +4,12 @@ Subcommands:
 
 - ``run`` — one (application, scheduler, cluster) simulation with a
   metrics summary;
+- ``trace`` — record a run's execution trace; print critical path +
+  timeline;
+- ``profile`` — run with the observability bus attached: metric
+  histograms, optional Chrome trace / JSONL event stream / snapshot;
+- ``diff-stats`` — compare two saved snapshots, optionally failing on
+  regression;
 - ``reproduce`` — regenerate paper artifacts (tables/figures) by name;
 - ``list`` — what's available.
 """
@@ -114,6 +120,80 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.obs import ChromeTraceSink, EventBus, JsonlSink, MetricsRegistry
+
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers,
+                       max_threads=args.workers + 4)
+    rt = SimRuntime(spec, make_scheduler(args.scheduler),
+                    seed=args.sched_seed)
+    bus = EventBus(sample_interval=args.sample_interval)
+    metrics = bus.subscribe(MetricsRegistry())
+    if args.chrome_trace:
+        bus.subscribe(ChromeTraceSink(args.chrome_trace))
+    if args.events:
+        bus.subscribe(JsonlSink(path=args.events))
+    bus.attach(rt)
+    app = make_app(args.app, scale=args.scale, seed=args.seed)
+    stats = app.run(rt)
+    rows = [[k, v] for k, v in stats.summary().items()]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.app} under {args.scheduler} on "
+                             f"{spec.n_places}x{spec.workers_per_place}"))
+    print()
+    print(render_table(["histogram", "count", "mean", "p50", "p90", "max"],
+                       metrics.summary_rows(), title="metric histograms"))
+    counts = stats.snapshot()["obs"]["events"]
+    print()
+    print(render_table(["event", "count"],
+                       [[k, counts[k]] for k in sorted(counts)],
+                       title="event counts"))
+    if args.chrome_trace:
+        print(f"\n[chrome trace written to {args.chrome_trace} — open in "
+              "https://ui.perfetto.dev]")
+    if args.events:
+        print(f"[event stream written to {args.events}]")
+    if args.snapshot:
+        with open(args.snapshot, "w") as fh:
+            fh.write(json.dumps(stats.snapshot(), sort_keys=True, indent=1))
+        print(f"[snapshot written to {args.snapshot}]")
+    return 0
+
+
+def _cmd_diff_stats(args) -> int:
+    import json
+
+    from repro.obs import diff_snapshots, max_regression_pct
+
+    with open(args.baseline) as fh:
+        base = json.load(fh)
+    with open(args.candidate) as fh:
+        cand = json.load(fh)
+    rows = diff_snapshots(base, cand)
+    if not rows:
+        print("no differences")
+        return 0
+    table = [[r.key, r.base, r.cand,
+              "-" if r.delta is None else f"{r.delta:+g}",
+              "-" if r.pct is None else f"{r.pct:+.2f}%"]
+             for r in rows]
+    print(render_table(["key", "baseline", "candidate", "delta", "pct"],
+                       table,
+                       title=f"{args.baseline} vs {args.candidate}"))
+    if args.fail_over is not None:
+        worst = max_regression_pct(rows)
+        if worst > args.fail_over:
+            print(f"\nFAIL: worst regression {worst:+.2f}% exceeds "
+                  f"--fail-over {args.fail_over:g}%", file=sys.stderr)
+            return 1
+        print(f"\nOK: worst regression {worst:+.2f}% within "
+              f"{args.fail_over:g}%")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     names = args.artifacts or list(EXPERIMENTS)
     for name in names:
@@ -209,6 +289,36 @@ def main(argv=None) -> int:
                         choices=("bench", "test"))
     tracep.add_argument("--json", help="also write the trace as JSON")
 
+    profp = sub.add_parser("profile",
+                           help="run with the observability bus attached")
+    profp.add_argument("--app", default="dmg",
+                       choices=sorted(APP_REGISTRY))
+    profp.add_argument("--scheduler", default="DistWS",
+                       choices=sorted(SCHEDULERS))
+    profp.add_argument("--places", type=int, default=8)
+    profp.add_argument("--workers", type=int, default=4)
+    profp.add_argument("--seed", type=int, default=12345)
+    profp.add_argument("--sched-seed", type=int, default=1)
+    profp.add_argument("--scale", default="test",
+                       choices=("bench", "test"))
+    profp.add_argument("--sample-interval", type=float, default=100_000,
+                       help="queue-depth sampling period in cycles")
+    profp.add_argument("--chrome-trace", metavar="PATH",
+                       help="write a Chrome trace-event file "
+                            "(Perfetto / chrome://tracing)")
+    profp.add_argument("--events", metavar="PATH",
+                       help="stream every event as JSONL to PATH")
+    profp.add_argument("--snapshot", metavar="PATH",
+                       help="write the full RunStats snapshot as JSON")
+
+    diffp = sub.add_parser("diff-stats",
+                           help="compare two saved run snapshots")
+    diffp.add_argument("baseline", help="baseline snapshot JSON")
+    diffp.add_argument("candidate", help="candidate snapshot JSON")
+    diffp.add_argument("--fail-over", type=float, metavar="PCT",
+                       help="exit 1 if any numeric leaf changed by more "
+                            "than PCT percent")
+
     repp = sub.add_parser("reproduce",
                           help="regenerate paper tables/figures")
     repp.add_argument("artifacts", nargs="*",
@@ -227,6 +337,10 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "diff-stats":
+        return _cmd_diff_stats(args)
     return _cmd_reproduce(args)
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.trace import Trace, TaskRecord
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -64,8 +65,15 @@ class CriticalPath:
 
 
 def critical_path(trace: Trace) -> CriticalPath:
-    """Extract the work/span decomposition from a trace."""
+    """Extract the work/span decomposition from a trace.
+
+    Raises :class:`ConfigError` on an empty trace — a span of zero has
+    no meaningful chain, and silently returning one would poison every
+    derived ratio downstream.
+    """
     records = trace.tasks
+    if not records:
+        raise ConfigError("empty trace: no tasks recorded")
     total_work = sum(t.duration for t in records)
     by_id = trace.by_id()
     # Longest path ending at each task, following spawn edges.  Parents

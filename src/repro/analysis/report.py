@@ -96,6 +96,7 @@ def trace_to_json(trace: Trace, indent: Optional[int] = None) -> str:
         "makespan": trace.makespan,
         "n_places": trace.n_places,
         "workers_per_place": trace.workers_per_place,
+        "cycles_per_ms": trace.cycles_per_ms,
         "tasks": [{
             "id": t.task_id,
             "label": t.label,

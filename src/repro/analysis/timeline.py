@@ -16,6 +16,11 @@ def place_timeline(trace: Trace, width: int = 72,
     """One row per place, shaded by the fraction of busy workers."""
     if width < 8:
         raise ConfigError("width must be >= 8")
+    if trace.makespan <= 0 or trace.n_places < 1:
+        return "(empty trace)"
+    if trace.cycles_per_ms <= 0:
+        raise ConfigError(
+            f"invalid trace clock: cycles_per_ms={trace.cycles_per_ms!r}")
     profile = trace.place_busy_profile(buckets=width)
     out: List[str] = []
     if title:
@@ -27,13 +32,16 @@ def place_timeline(trace: Trace, width: int = 72,
                         int(v * (len(_SHADES) - 1) + 0.5))]
             for v in row)
         out.append(f"p{p:02d} |{cells}|")
-    out.append(f"     0{' ' * (width - 10)}{trace.makespan / 2e6:8.2f} ms")
+    out.append(f"     0{' ' * (width - 10)}"
+               f"{trace.makespan / trace.cycles_per_ms:8.2f} ms")
     return "\n".join(out)
 
 
 def steal_flow(trace: Trace, title: str = "") -> str:
     """Matrix of remotely-executed task counts: home place -> thief."""
     n = trace.n_places
+    if n < 1:
+        return "(empty trace)"
     counts = [[0] * n for _ in range(n)]
     for rec in trace.tasks:
         if rec.exec_place != rec.home_place:
@@ -57,6 +65,8 @@ def worker_occupancy(trace: Trace, place: int,
     """Per-worker lanes for one place (1 row per worker)."""
     if not (0 <= place < trace.n_places):
         raise ConfigError(f"no such place: {place}")
+    if width < 8:
+        raise ConfigError("width must be >= 8")
     if trace.makespan <= 0:
         return "(empty trace)"
     lanes: dict[int, List[float]] = {

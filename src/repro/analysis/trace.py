@@ -3,12 +3,14 @@
 A :class:`TraceRecorder` attaches to a :class:`~repro.runtime.runtime.
 SimRuntime` *before* the run and collects one record per task — spawn
 time, queue time, execution window, worker, home vs executing place, and
-the spawn edge to its parent — plus one record per successful steal.
-The analysis tools (timeline rendering, critical-path extraction,
-per-place load profiles) consume these traces.
+the spawn edge to its parent.  The analysis tools (timeline rendering,
+critical-path extraction, per-place load profiles) consume these traces.
 
-Attachment is by wrapping two runtime hooks (`spawn` and the worker's
-`execute`); the recorder never changes scheduling behaviour.
+The recorder is one subscriber on the :mod:`repro.obs` event bus: it
+listens to ``task_spawn`` / ``task_end`` events rather than wrapping
+runtime hooks.  If the runtime already has a bus attached the recorder
+joins it; otherwise it creates a private one.  Either way it never
+changes scheduling behaviour — events consume no simulated time.
 """
 
 from __future__ import annotations
@@ -17,8 +19,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import ConfigError
+from repro.obs.bus import EventBus
+from repro.obs.events import ObsEvent
+from repro.obs.sinks import Sink
 from repro.runtime.runtime import SimRuntime
-from repro.runtime.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.stats import FaultEvent
@@ -60,6 +64,9 @@ class Trace:
     makespan: float = 0.0
     n_places: int = 0
     workers_per_place: int = 0
+    #: Simulated clock rate the run was priced with; converts cycle
+    #: timestamps to wall-clock axes (2e6 = the default 2 GHz model).
+    cycles_per_ms: float = 2_000_000.0
     #: Fault-injection timeline (crashes, spikes, losses, re-executions);
     #: empty for fault-free runs.
     fault_events: List["FaultEvent"] = field(default_factory=list)
@@ -77,7 +84,7 @@ class Trace:
         """Per-place fraction of workers busy, over ``buckets`` windows."""
         if buckets < 1:
             raise ConfigError("buckets must be >= 1")
-        if self.makespan <= 0:
+        if self.makespan <= 0 or self.workers_per_place < 1:
             return [[0.0] * buckets for _ in range(self.n_places)]
         width = self.makespan / buckets
         out = [[0.0] * buckets for _ in range(self.n_places)]
@@ -93,76 +100,52 @@ class Trace:
         return [[min(1.0, v / denom) for v in row] for row in out]
 
 
-class TraceRecorder:
-    """Attach to a runtime to capture its execution trace."""
+class TraceRecorder(Sink):
+    """Attach to a runtime to capture its execution trace.
+
+    Subscribes to the runtime's event bus (creating one when the runtime
+    has none).  The public surface is unchanged from the hook-wrapping
+    implementation it replaced: construct before :meth:`SimRuntime.run`,
+    call :meth:`finalize` after.
+    """
 
     def __init__(self, runtime: SimRuntime) -> None:
         if runtime._started:
             raise ConfigError("attach the recorder before running")
         self.runtime = runtime
         self.trace = Trace(n_places=runtime.spec.n_places,
-                           workers_per_place=runtime.spec.workers_per_place)
+                           workers_per_place=runtime.spec.workers_per_place,
+                           cycles_per_ms=runtime.costs.cycles_per_ms)
         self._spawn_times: Dict[int, float] = {}
         self._parents: Dict[int, Optional[int]] = {}
-        self._install()
+        if runtime.obs is not None:
+            runtime.obs.subscribe(self)
+        else:
+            bus = EventBus()
+            bus.subscribe(self)
+            bus.attach(runtime)
 
-    def _install(self) -> None:
-        rt = self.runtime
-        orig_spawn = rt.spawn
-        orig_finished = rt.task_finished
-
-        def spawn(task: Task, from_place=None, finish=None,
-                  from_worker=None):
-            self._spawn_times[task.task_id] = rt.env.now
-            parent = None
-            if from_worker is not None:
-                # The currently executing task on that worker (if any)
-                # is the spawner; worker.execute sets exec markers first.
-                parent = self._current_of.get(from_worker.wid)
-            self._parents[task.task_id] = parent
-            return orig_spawn(task, from_place=from_place, finish=finish,
-                              from_worker=from_worker)
-
-        self._current_of: Dict[tuple, Optional[int]] = {}
-
-        def task_finished(task: Task, worker):
-            self._current_of[worker.wid] = None
+    def on_event(self, ev: ObsEvent) -> None:
+        if ev.kind == "task_spawn":
+            f = ev.fields
+            self._spawn_times[f["task"]] = ev.t
+            self._parents[f["task"]] = f["parent"]
+        elif ev.kind == "task_end":
+            f = ev.fields
             self.trace.tasks.append(TaskRecord(
-                task_id=task.task_id,
-                label=task.label,
-                parent_id=self._parents.get(task.task_id),
-                home_place=task.home_place,
-                exec_place=task.exec_place,
-                worker=task.exec_worker,
-                spawn_time=self._spawn_times.get(task.task_id, 0.0),
-                start_time=task.start_time,
-                end_time=task.end_time,
-                work=task.work,
-                flexible=task.is_flexible,
-                stolen_remotely=task.stolen_remotely,
+                task_id=f["task"],
+                label=f["label"],
+                parent_id=self._parents.get(f["task"]),
+                home_place=f["home"],
+                exec_place=f["place"],
+                worker=f["worker"],
+                spawn_time=self._spawn_times.get(f["task"], 0.0),
+                start_time=f["start"],
+                end_time=ev.t,
+                work=f["work"],
+                flexible=f["flexible"],
+                stolen_remotely=f["stolen"],
             ))
-            return orig_finished(task, worker)
-
-        rt.spawn = spawn  # type: ignore[method-assign]
-        rt.task_finished = task_finished  # type: ignore[method-assign]
-
-        # Track which task each worker is currently executing, so spawn
-        # edges can name their parent.
-        from repro.runtime.worker import Worker
-        recorder = self
-
-        for place in rt.places:
-            for w in place.workers:
-                orig_exec = w.execute
-
-                def make_exec(w=w, orig_exec=orig_exec):
-                    def execute(task):
-                        recorder._current_of[w.wid] = task.task_id
-                        result = yield from orig_exec(task)
-                        return result
-                    return execute
-
-                w.execute = make_exec()  # type: ignore[method-assign]
 
     def finalize(self) -> Trace:
         """Snapshot the trace after the run completed."""

@@ -82,6 +82,9 @@ class Network:
         #: Fault injector hook; ``None`` in fault-free runs (the default),
         #: in which case every fault branch below is skipped entirely.
         self.faults = None
+        #: Observability event bus; ``None`` (the default) skips message
+        #: event emission entirely (set by ``EventBus.attach``).
+        self.obs = None
         self._send_free: Dict[int, float] = {}
         self._recv_free: Dict[int, float] = {}
 
@@ -170,7 +173,11 @@ class Network:
         rx_start = max(tx_end + latency, self._recv_free.get(dst, 0.0))
         rx_end = rx_start + occupancy
         self._recv_free[dst] = rx_end
-        return rx_end - now
+        total = rx_end - now
+        if self.obs is not None:
+            self.obs.emit("msg_send", src=src, dst=dst, kind=kind,
+                          bytes=nbytes, packets=packets, latency=total)
+        return total
 
     def round_trip(self, src: int, dst: int, request_bytes: int,
                    reply_bytes: int, kind_prefix: str = "steal") -> float:

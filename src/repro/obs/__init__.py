@@ -1,0 +1,44 @@
+"""``repro.obs`` — unified event tracing and metrics.
+
+A typed, clock-stamped :class:`EventBus` with first-class
+instrumentation points in the worker loop, scheduler steal paths,
+mailbox, network model, and fault injector.  Events flow to pluggable
+sinks: :class:`InMemorySink`, the streaming :class:`JsonlSink`, the
+:class:`ChromeTraceSink` (``chrome://tracing`` / Perfetto), and the
+:class:`MetricsRegistry` (latency/granularity histograms, sampled queue
+depths).
+
+The layer is pay-for-what-you-use: with no sinks subscribed,
+``EventBus.attach`` installs nothing and runs stay byte-identical to
+unobserved ones.  See ``DESIGN.md`` §9 for the taxonomy and the
+overhead contract.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.diff import DiffRow, diff_snapshots, flatten, max_regression_pct
+from repro.obs.events import EVENT_SCHEMA, ObsEvent
+from repro.obs.metrics import (
+    HISTOGRAM_NAMES,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.sinks import ChromeTraceSink, InMemorySink, JsonlSink, Sink
+
+__all__ = [
+    "ChromeTraceSink",
+    "DiffRow",
+    "EVENT_SCHEMA",
+    "EventBus",
+    "HISTOGRAM_NAMES",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Sink",
+    "TimeSeries",
+    "diff_snapshots",
+    "flatten",
+    "max_regression_pct",
+]

@@ -63,6 +63,10 @@ class SimRuntime:
         #: Fault injector hook; ``None`` (the default) keeps every fault
         #: branch in the runtime, network and schedulers switched off.
         self.faults = None
+        #: Observability event bus (:class:`repro.obs.EventBus`); ``None``
+        #: (the default) keeps every instrumentation point switched off so
+        #: unobserved runs pay nothing — the zero-overhead contract.
+        self.obs = None
         self._started = False
 
     # -- spawning ----------------------------------------------------------
@@ -87,6 +91,13 @@ class SimRuntime:
         task.finish.register()
         task.enqueue_time = self.env.now
         self.stats.tasks_spawned += 1
+        if self.obs is not None:
+            parent = None
+            if from_worker is not None and from_worker.current_task is not None:
+                parent = from_worker.current_task.task_id
+            self.obs.emit("task_spawn", task=task.task_id, label=task.label,
+                          parent=parent, home=task.home_place,
+                          flexible=task.is_flexible)
         if self.faults is not None:
             # Ledger bookkeeping; may re-home a task whose place is dead.
             self.faults.on_spawn(task)
@@ -102,6 +113,12 @@ class SimRuntime:
 
     def task_finished(self, task: Task, worker: Worker) -> None:
         """Bookkeeping when an activity completes (called by the worker)."""
+        if self.obs is not None:
+            self.obs.emit("task_end", task=task.task_id, label=task.label,
+                          home=task.home_place, place=task.exec_place,
+                          worker=task.exec_worker, start=task.start_time,
+                          work=task.work, flexible=task.is_flexible,
+                          stolen=task.stolen_remotely)
         st = self.stats
         st.tasks_executed += 1
         if task.exec_place != task.home_place:
@@ -185,6 +202,11 @@ class SimRuntime:
         st.messages_by_pair = net.by_pair.copy()
         if self.faults is not None:
             st.faults = self.faults.stats
+        if self.obs is not None:
+            # Summarize into the snapshot, then flush file-backed sinks
+            # (JSONL, Chrome trace) so exports land without extra calls.
+            st.obs = self.obs.snapshot()
+            self.obs.close()
 
     # -- conveniences ------------------------------------------------------------
     @property

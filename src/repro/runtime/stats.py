@@ -72,6 +72,10 @@ class RunStats:
     #: Fault-injection observables; ``None`` unless an injector with a
     #: non-empty plan was attached (fault-free snapshots are unchanged).
     faults: Optional["FaultStats"] = None
+    #: Observability summary (event counts by kind, metrics histograms /
+    #: sampled series); ``None`` unless an event bus with at least one
+    #: sink was attached — unobserved snapshots are byte-identical.
+    obs: Optional[Dict[str, object]] = None
     #: Sum and count of task work, for mean-granularity reporting.
     work_sum_cycles: float = 0.0
     work_count: int = 0
@@ -134,7 +138,8 @@ class RunStats:
         byte-identical ``json.dumps(snapshot, sort_keys=True)`` output —
         the property the determinism and zero-overhead regression tests
         assert.  The ``"faults"`` key appears only when fault injection
-        was active.
+        was active; the ``"obs"`` key only when an event bus with sinks
+        was attached.
         """
         snap: Dict[str, object] = {
             "places": self.n_places,
@@ -178,6 +183,8 @@ class RunStats:
         }
         if self.faults is not None:
             snap["faults"] = self.faults.snapshot()
+        if self.obs is not None:
+            snap["obs"] = self.obs
         return snap
 
     def summary(self) -> Dict[str, object]:

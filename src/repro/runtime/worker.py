@@ -42,8 +42,9 @@ class Worker:
         self.deque = PrivateDeque(place.place_id, worker_index)
         self.cache = LruCache(runtime.costs.l1_capacity_lines)
         self.executing = False
-        #: Task currently in :meth:`execute` (for crash handling); the
-        #: fault injector reads this to find in-flight work at a crash.
+        #: Task currently in :meth:`execute`.  The fault injector reads
+        #: this to find in-flight work at a crash; the runtime reads it
+        #: to attribute spawn parentage for the observability layer.
         self.current_task: Task | None = None
         #: Stolen chunk in transit to this worker's place: populated from
         #: the instant the tasks leave the victim's shared deque until
@@ -107,6 +108,10 @@ class Worker:
             # Nothing anywhere: failed round, then back off.
             self.place.note_failed_steal()
             rt.stats.steals.failed_rounds += 1
+            if rt.obs is not None:
+                rt.obs.emit("worker_park", place=self.place.place_id,
+                            worker=self.worker_index,
+                            backoff=self._backoff)
             work_ev = self.place.work_event()
             wake = env.any_of([
                 rt.done_gate.wait(),
@@ -152,6 +157,10 @@ class Worker:
         place.running_activities += 1
         place.note_assignment()
         self.executing = True
+        self.current_task = task
+        if rt.obs is not None:
+            rt.obs.emit("task_start", task=task.task_id,
+                        place=place.place_id, worker=self.worker_index)
         try:
             cost = task.work
             if faults is not None:
@@ -192,6 +201,7 @@ class Worker:
             yield env.timeout(cost)
         finally:
             self.executing = False
+            self.current_task = None
             place.running_activities -= 1
         task.state = TaskState.DONE
         task.end_time = env.now
@@ -231,6 +241,9 @@ class Worker:
         place.note_assignment()
         self.executing = True
         self.current_task = task
+        if rt.obs is not None:
+            rt.obs.emit("task_start", task=task.task_id,
+                        place=place.place_id, worker=self.worker_index)
         try:
             cost = task.work * faults.slow_factor(place.place_id)
             remote = task.exec_place != task.home_place

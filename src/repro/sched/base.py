@@ -135,6 +135,11 @@ class Scheduler(ABC):
         task = worker.place.mailbox.try_get()
         if task is not None:
             self.rt.stats.steals.mailbox_hits += 1
+            if self.rt.obs is not None:
+                self.rt.obs.emit("mailbox_get",
+                                 place=worker.place.place_id,
+                                 worker=worker.worker_index,
+                                 task=task.task_id)
         return task  # type: ignore[return-value]
 
     def _steal_colocated(self, worker: "Worker") -> FindWork:
@@ -144,9 +149,15 @@ class Scheduler(ABC):
         st = rt.stats.steals
         peers = [w for w in worker.place.workers if w is not worker]
         order = rt.rngs.stream("victims", *worker.wid).permutation(len(peers))
+        obs = rt.obs
         for idx in order:
             victim = peers[int(idx)]
             st.local_attempts += 1
+            if obs is not None:
+                obs.emit("steal_attempt", tier="local",
+                         place=worker.place.place_id,
+                         worker=worker.worker_index,
+                         victim=victim.worker_index)
             yield env.timeout(rt.costs.local_steal_attempt)
             worker.charge_overhead(rt.costs.local_steal_attempt)
             task = victim.deque.steal()
@@ -154,6 +165,11 @@ class Scheduler(ABC):
                 yield env.timeout(rt.costs.local_steal_success)
                 worker.charge_overhead(rt.costs.local_steal_success)
                 st.local_hits += 1
+                if obs is not None:
+                    obs.emit("steal_hit", tier="local",
+                             place=worker.place.place_id,
+                             worker=worker.worker_index,
+                             victim=victim.worker_index, tasks=1)
                 return task
         return None
 
@@ -163,6 +179,11 @@ class Scheduler(ABC):
         env = rt.env
         shared = worker.place.shared
         rt.stats.steals.shared_local_attempts += 1
+        if rt.obs is not None:
+            rt.obs.emit("steal_attempt", tier="shared",
+                        place=worker.place.place_id,
+                        worker=worker.worker_index,
+                        victim=worker.place.place_id)
         yield shared.lock.acquire()
         try:
             yield env.timeout(rt.costs.shared_deque_op)
@@ -174,6 +195,11 @@ class Scheduler(ABC):
             shared.lock.release()
         if task is not None:
             rt.stats.steals.shared_local_hits += 1
+            if rt.obs is not None:
+                rt.obs.emit("steal_hit", tier="shared",
+                            place=worker.place.place_id,
+                            worker=worker.worker_index,
+                            victim=worker.place.place_id, tasks=1)
         return task
 
     def _steal_remote(self, worker: "Worker",
@@ -219,9 +245,14 @@ class Scheduler(ABC):
         env = rt.env
         costs = rt.costs
         st = rt.stats.steals
+        obs = rt.obs
         home = worker.place
         victim = rt.places[pj]
         st.remote_attempts += 1
+        request_time = env.now
+        if obs is not None:
+            obs.emit("steal_request", place=home.place_id,
+                     worker=worker.worker_index, victim=pj)
         # Request message travels to the victim...
         yield env.timeout(rt.network.send(
             home.place_id, pj, 64, MSG_STEAL_REQUEST))
@@ -239,8 +270,12 @@ class Scheduler(ABC):
         if not chunk:
             yield env.timeout(rt.network.send(
                 pj, home.place_id, 64, MSG_STEAL_REPLY))
+            if obs is not None:
+                obs.emit("steal_miss", place=home.place_id,
+                         worker=worker.worker_index, victim=pj)
             return None
-        task = yield from self._ship_chunk_home(worker, pj, chunk)
+        task = yield from self._ship_chunk_home(worker, pj, chunk,
+                                                request_time=request_time)
         return task
 
     def _attempt_remote_steal_faulty(self, worker: "Worker",
@@ -258,16 +293,26 @@ class Scheduler(ABC):
         env = rt.env
         costs = rt.costs
         st = rt.stats.steals
+        obs = rt.obs
         fstats = rt.faults.stats
         home = worker.place
         victim = rt.places[pj]
         retries = 0
         backoff = costs.steal_retry_backoff
+        request_time: Optional[float] = None
         while True:
             if rt.faults.is_dead(pj):
                 self._blacklist_victim(pj)
+                if obs is not None and request_time is not None:
+                    obs.emit("steal_miss", place=home.place_id,
+                             worker=worker.worker_index, victim=pj)
                 return None
             st.remote_attempts += 1
+            if request_time is None:
+                request_time = env.now
+            if obs is not None:
+                obs.emit("steal_request", place=home.place_id,
+                         worker=worker.worker_index, victim=pj)
             latency, delivered = rt.network.send_unreliable(
                 home.place_id, pj, 64, MSG_STEAL_REQUEST)
             if delivered:
@@ -279,6 +324,9 @@ class Scheduler(ABC):
             fstats.steal_timeouts += 1
             if retries >= self.steal_max_retries:
                 self._blacklist_victim(pj)
+                if obs is not None:
+                    obs.emit("steal_miss", place=home.place_id,
+                             worker=worker.worker_index, victim=pj)
                 return None
             retries += 1
             fstats.steal_retries += 1
@@ -307,13 +355,18 @@ class Scheduler(ABC):
                 # pays the timeout before moving on.
                 yield env.timeout(costs.steal_timeout)
                 fstats.steal_timeouts += 1
+            if obs is not None:
+                obs.emit("steal_miss", place=home.place_id,
+                         worker=worker.worker_index, victim=pj)
             return None
         self._note_steal_success(pj)
-        task = yield from self._ship_chunk_home(worker, pj, chunk)
+        task = yield from self._ship_chunk_home(worker, pj, chunk,
+                                                request_time=request_time)
         return task
 
     def _ship_chunk_home(self, worker: "Worker", pj: int,
-                         chunk: List[Task]) -> FindWork:
+                         chunk: List[Task],
+                         request_time: Optional[float] = None) -> FindWork:
         """Ship a stolen chunk to the thief's place; first task returned.
 
         Uses the reliable transport even under fault injection: the
@@ -346,9 +399,17 @@ class Scheduler(ABC):
                 pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
         yield env.timeout(delay)
         worker.pending_chunk = []
+        obs = rt.obs
+        if obs is not None:
+            t0 = request_time if request_time is not None else env.now
+            obs.emit("chunk_arrive", place=home.place_id,
+                     worker=worker.worker_index, victim=pj,
+                     tasks=len(chunk), latency=env.now - t0)
         first, rest = chunk[0], chunk[1:]
         for t in rest:
             home.mailbox.put(t)
+            if obs is not None:
+                obs.emit("mailbox_put", place=home.place_id, task=t.task_id)
         if rest:
             home.notify_work()
         return first

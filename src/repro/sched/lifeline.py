@@ -101,6 +101,9 @@ class LifelineWS(DistWS):
                                  task.closure_bytes, MSG_TASK_SHIP)
             dest = self.rt.places[target]
             dest.mailbox.put(task)
+            if self.rt.obs is not None:
+                self.rt.obs.emit("mailbox_put", place=target,
+                                 task=task.task_id)
             dest.notify_work()
             self.rt.stats.steals.remote_tasks_received += 1
 

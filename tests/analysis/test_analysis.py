@@ -126,6 +126,65 @@ class TestRenderers:
             worker_occupancy(trace, place=9)
 
 
+class TestEmptyTraceHardening:
+    """Empty traces and zero-makespan runs degrade cleanly (no ZeroDivision)."""
+
+    @staticmethod
+    def empty_trace(n_places=2, workers=2):
+        from repro.analysis import Trace
+        return Trace(n_places=n_places, workers_per_place=workers)
+
+    def test_place_timeline_empty_stub(self):
+        assert place_timeline(self.empty_trace()) == "(empty trace)"
+        from repro.analysis import Trace
+        assert place_timeline(Trace()) == "(empty trace)"
+
+    def test_place_timeline_bad_clock_rejected(self):
+        trace, _ = traced_run()
+        trace.cycles_per_ms = 0.0
+        with pytest.raises(ConfigError):
+            place_timeline(trace)
+
+    def test_steal_flow_empty_stub(self):
+        from repro.analysis import Trace
+        assert steal_flow(Trace()) == "(empty trace)"
+        # Zero makespan but places known: still renders an all-zero matrix.
+        assert "total tasks" in steal_flow(self.empty_trace())
+
+    def test_worker_occupancy_empty_stub(self):
+        assert worker_occupancy(self.empty_trace(), place=0) \
+            == "(empty trace)"
+        with pytest.raises(ConfigError):
+            worker_occupancy(self.empty_trace(), place=0, width=2)
+
+    def test_critical_path_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            critical_path(self.empty_trace())
+
+    def test_busy_profile_degenerate_workers(self):
+        trace = self.empty_trace(workers=0)
+        trace.makespan = 100.0
+        profile = trace.place_busy_profile(buckets=5)
+        assert profile == [[0.0] * 5, [0.0] * 5]
+
+
+class TestTraceClock:
+    def test_trace_carries_cost_model_clock(self):
+        trace, _ = traced_run()
+        assert trace.cycles_per_ms == 2_000_000.0
+
+    def test_timeline_axis_uses_trace_clock(self):
+        trace, _ = traced_run()
+        trace.cycles_per_ms = trace.makespan  # 1 "ms" == the whole run
+        art = place_timeline(trace, width=30)
+        assert "1.00 ms" in art
+
+    def test_trace_json_includes_clock(self):
+        trace, _ = traced_run()
+        data = json.loads(trace_to_json(trace))
+        assert data["cycles_per_ms"] == 2_000_000.0
+
+
 class TestExports:
     def test_stats_json_round_trip(self):
         _, stats = traced_run()

@@ -3,7 +3,10 @@
 Attaching an empty :class:`FaultPlan` must leave the run's
 :meth:`RunStats.snapshot` byte-identical to a run with no injector —
 the fault branches in the runtime, network and schedulers all
-short-circuit on ``faults is None``.
+short-circuit on ``faults is None``.  The observability layer makes the
+same promise: attaching an :class:`EventBus` with **no sinks** is a
+no-op (``rt.obs`` stays ``None``), so unobserved snapshots are
+byte-identical too.
 """
 
 from __future__ import annotations
@@ -14,17 +17,22 @@ import pytest
 
 from repro.cluster.topology import ClusterSpec
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs import EventBus
 from repro.runtime.runtime import SimRuntime
 from repro.sched import make_scheduler
 
 from tests.faults.conftest import fanout_program
 
 
-def run_once(scheduler_name, attach_empty_plan):
+def run_once(scheduler_name, attach_empty_plan=False,
+             attach_sinkless_bus=False):
     spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
     rt = SimRuntime(spec, make_scheduler(scheduler_name), seed=7)
     if attach_empty_plan:
         FaultInjector(FaultPlan()).attach(rt)
+    if attach_sinkless_bus:
+        EventBus(sample_interval=100_000).attach(rt)
+        assert rt.obs is None  # zero sinks: the attach installed nothing
     stats = rt.run(fanout_program(24, work=500_000, n_places=4))
     return json.dumps(stats.snapshot(), sort_keys=True)
 
@@ -33,6 +41,20 @@ def run_once(scheduler_name, attach_empty_plan):
 def test_empty_plan_is_byte_identical(scheduler_name):
     assert (run_once(scheduler_name, attach_empty_plan=False)
             == run_once(scheduler_name, attach_empty_plan=True))
+
+
+@pytest.mark.parametrize("scheduler_name", ["DistWS", "X10WS"])
+def test_sinkless_event_bus_is_byte_identical(scheduler_name):
+    assert (run_once(scheduler_name)
+            == run_once(scheduler_name, attach_sinkless_bus=True))
+
+
+def test_sinkless_bus_snapshot_has_no_obs_key():
+    spec = ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler("DistWS"), seed=1)
+    EventBus().attach(rt)
+    stats = rt.run(fanout_program(8, work=100_000, n_places=2))
+    assert "obs" not in stats.snapshot()
 
 
 def test_empty_plan_snapshot_has_no_faults_key():

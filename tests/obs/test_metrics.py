@@ -1,0 +1,171 @@
+"""Metrics registry: histograms, time series, snapshot diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.obs import (
+    HISTOGRAM_NAMES,
+    EventBus,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    diff_snapshots,
+    flatten,
+    max_regression_pct,
+)
+from repro.runtime.runtime import SimRuntime
+from repro.sched import make_scheduler
+
+from tests.faults.conftest import fanout_program
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["buckets"] == []
+
+    def test_exact_stats(self):
+        h = Histogram()
+        for v in (1, 10, 100):
+            h.record(v)
+        assert h.count == 3
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(37.0)
+
+    def test_log2_bucketing(self):
+        h = Histogram()
+        for v in (3, 4, 5):
+            h.record(v)
+        buckets = dict(h.snapshot()["buckets"])
+        assert buckets == {4.0: 2, 8.0: 1}  # 3,4 -> <=4; 5 -> <=8
+
+    def test_nonpositive_values_bucket_zero(self):
+        h = Histogram()
+        h.record(0)
+        h.record(-7)
+        buckets = dict(h.snapshot()["buckets"])
+        assert buckets == {0.0: 2}
+        assert h.min == -7
+
+    def test_percentile_bounded_by_max(self):
+        h = Histogram()
+        for v in (100, 200, 900):
+            h.record(v)
+        # p99 falls in the 1024-bucket but can never exceed the true max.
+        assert h.percentile(0.99) == 900
+        assert h.percentile(0.01) <= h.percentile(0.99)
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        s = TimeSeries()
+        for i in range(10):
+            s.record(float(i), float(i * i))
+        assert s.snapshot() == [[float(i), float(i * i)]
+                                for i in range(10)]
+
+    def test_decimation_bounds_memory(self):
+        s = TimeSeries(max_points=64)
+        for i in range(10_000):
+            s.record(float(i), 1.0)
+        assert len(s.points) < 64
+        # Retained points stay ordered and uniformly strided.
+        ts = [t for t, _ in s.points]
+        assert ts == sorted(ts)
+
+    def test_decimation_deterministic(self):
+        def fill():
+            s = TimeSeries(max_points=32)
+            for i in range(5_000):
+                s.record(float(i), float(i % 7))
+            return s.snapshot()
+        assert fill() == fill()
+
+
+def observed_run():
+    rt = SimRuntime(
+        ClusterSpec(n_places=4, workers_per_place=2, max_threads=4),
+        make_scheduler("DistWS"), seed=7)
+    bus = EventBus(sample_interval=100_000)
+    metrics = bus.subscribe(MetricsRegistry())
+    bus.attach(rt)
+    stats = rt.run(fanout_program(24, work=500_000, n_places=4))
+    return metrics, stats
+
+
+class TestMetricsRegistry:
+    def test_all_histograms_always_present(self):
+        metrics, _ = observed_run()
+        snap = metrics.snapshot()
+        assert set(snap["histograms"]) == set(HISTOGRAM_NAMES)
+
+    def test_granularity_counts_every_task(self):
+        metrics, stats = observed_run()
+        h = metrics.histograms["task_granularity_cycles"]
+        assert h.count == stats.tasks_executed
+        assert h.total == pytest.approx(stats.work_sum_cycles)
+
+    def test_steal_latency_matches_remote_hits(self):
+        metrics, stats = observed_run()
+        h = metrics.histograms["steal_latency_cycles"]
+        assert h.count == stats.steals.remote_hits
+        if h.count:
+            assert h.min > 0  # a steal can never resolve instantly
+
+    def test_chunk_sizes_bounded_by_chunk_size(self):
+        metrics, stats = observed_run()
+        h = metrics.histograms["chunk_tasks"]
+        assert h.count == stats.steals.remote_hits
+        if h.count:
+            assert 1 <= h.min and h.max <= 2  # remote_chunk_size
+
+    def test_queue_depth_series_per_place(self):
+        metrics, _ = observed_run()
+        for p in range(4):
+            for suffix in ("private", "shared", "mailbox",
+                           "outstanding_steals"):
+                assert f"p{p}.{suffix}" in metrics.series
+
+    def test_snapshot_in_run_stats(self):
+        _, stats = observed_run()
+        block = stats.snapshot()["obs"]["metrics"]
+        assert set(block) == {"histograms", "series"}
+
+
+class TestDiff:
+    def test_flatten_paths(self):
+        flat = flatten({"a": {"b": 1, "c": [2, {"d": 3}]}, "e": "x"})
+        assert flat == {"a.b": 1, "a.c[0]": 2, "a.c[1].d": 3, "e": "x"}
+
+    def test_identical_snapshots_no_rows(self):
+        snap = {"x": 1, "y": [1, 2]}
+        assert diff_snapshots(snap, snap) == []
+
+    def test_numeric_delta_and_pct(self):
+        rows = diff_snapshots({"n": 100}, {"n": 110})
+        assert len(rows) == 1
+        assert rows[0].delta == pytest.approx(10)
+        assert rows[0].pct == pytest.approx(10.0)
+
+    def test_missing_and_nonnumeric_leaves(self):
+        rows = diff_snapshots({"a": 1, "s": "x"}, {"b": 2, "s": "y"})
+        by_key = {r.key: r for r in rows}
+        assert by_key["a"].cand is None and by_key["a"].delta is None
+        assert by_key["b"].base is None
+        assert by_key["s"].delta is None
+
+    def test_max_regression_pct(self):
+        rows = diff_snapshots({"a": 100, "b": 10}, {"a": 99, "b": 13})
+        assert max_regression_pct(rows) == pytest.approx(30.0)
+        assert max_regression_pct([]) == 0.0
+
+    def test_zero_baseline_has_no_pct(self):
+        rows = diff_snapshots({"n": 0}, {"n": 5})
+        assert rows[0].delta == 5
+        assert rows[0].pct is None

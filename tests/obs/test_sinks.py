@@ -1,0 +1,97 @@
+"""Sink behaviours: JSONL streaming and the Chrome trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigError
+from repro.obs import ChromeTraceSink, EventBus, JsonlSink
+from repro.runtime.runtime import SimRuntime
+from repro.sched import make_scheduler
+
+from tests.faults.conftest import fanout_program
+
+N_PLACES = 4
+WORKERS = 2
+
+
+def run_with(*sinks, sample_interval=100_000):
+    rt = SimRuntime(
+        ClusterSpec(n_places=N_PLACES, workers_per_place=WORKERS,
+                    max_threads=WORKERS + 2),
+        make_scheduler("DistWS"), seed=7)
+    bus = EventBus(sample_interval=sample_interval)
+    for sink in sinks:
+        bus.subscribe(sink)
+    bus.attach(rt)
+    stats = rt.run(fanout_program(24, work=500_000, n_places=N_PLACES))
+    return stats
+
+
+class TestJsonlSink:
+    def test_requires_exactly_one_of_path_stream(self, tmp_path):
+        with pytest.raises(ConfigError):
+            JsonlSink()
+        with pytest.raises(ConfigError):
+            JsonlSink(path=str(tmp_path / "x.jsonl"), stream=object())
+
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path=str(path))
+        run_with(sink)
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.lines_written > 0
+        for line in lines:
+            row = json.loads(line)
+            assert "t" in row and "kind" in row
+
+
+class TestChromeTraceSink:
+    def run_trace(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        stats = run_with(ChromeTraceSink(str(path)))
+        with open(path) as fh:
+            doc = json.load(fh)
+        return doc, stats
+
+    def test_document_shape(self, tmp_path):
+        doc, _ = self.run_trace(tmp_path)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_one_process_row_per_place(self, tmp_path):
+        doc, _ = self.run_trace(tmp_path)
+        names = {e["pid"]: e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert names == {p: f"place {p}" for p in range(N_PLACES)}
+
+    def test_one_thread_lane_per_worker(self, tmp_path):
+        doc, _ = self.run_trace(tmp_path)
+        lanes = {(e["pid"], e["tid"]): e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert lanes == {(p, w): f"worker {w}"
+                         for p in range(N_PLACES)
+                         for w in range(WORKERS)}
+
+    def test_task_slices_within_makespan(self, tmp_path):
+        doc, stats = self.run_trace(tmp_path)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == stats.tasks_executed
+        makespan_us = stats.makespan_cycles / 2_000.0  # 2e6 cycles/ms
+        for e in slices:
+            assert 0 <= e["ts"] <= makespan_us + 1e-6
+            assert e["ts"] + e["dur"] <= makespan_us + 1e-6
+            assert 0 <= e["pid"] < N_PLACES
+            assert 0 <= e["tid"] < WORKERS
+
+    def test_counter_tracks_present_with_sampler(self, tmp_path):
+        doc, _ = self.run_trace(tmp_path)
+        counters = {e["name"] for e in doc["traceEvents"]
+                    if e.get("ph") == "C"}
+        assert counters == {"queue depth", "outstanding steals"}

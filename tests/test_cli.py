@@ -41,3 +41,40 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_profile_writes_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        events = tmp_path / "events.jsonl"
+        snapshot = tmp_path / "snap.json"
+        code = main(["profile", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--chrome-trace", str(trace),
+                     "--events", str(events),
+                     "--snapshot", str(snapshot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metric histograms" in out
+        assert "event counts" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert all(json.loads(line)
+                   for line in events.read_text().splitlines())
+        snap = json.loads(snapshot.read_text())
+        assert "obs" in snap and "metrics" in snap["obs"]
+
+    def test_diff_stats_identical(self, capsys, tmp_path):
+        snap = tmp_path / "a.json"
+        snap.write_text(json.dumps({"makespan_cycles": 5, "tasks": 3}))
+        assert main(["diff-stats", str(snap), str(snap)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_diff_stats_fail_over(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"makespan_cycles": 100}))
+        b.write_text(json.dumps({"makespan_cycles": 150}))
+        assert main(["diff-stats", str(a), str(b)]) == 0
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "10"]) == 1
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "60"]) == 0
