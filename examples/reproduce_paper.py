@@ -3,13 +3,18 @@
 
 Runs the full experiment registry (Figs. 3-7, Tables I-III, the §VIII.2
 chunk/granularity studies, and the §X UTS comparison) at benchmark scale
-and prints each rendered artifact.  Expect ~15-30 minutes on a laptop.
+and prints each rendered artifact.  Expect ~15-30 minutes on a laptop —
+or divide that by your core count with ``--parallel``.
 
 Run:  python examples/reproduce_paper.py [test|bench] [artifact ...]
+          [--parallel N] [--cache-dir DIR]
 
 With ``test`` the suite uses small instances (a couple of minutes; the
 shapes are weaker at that scale).  Naming artifacts (e.g. ``fig6 table3``)
-runs just those.
+runs just those.  ``--parallel N`` shards the (app x scheduler x seed)
+grid over N worker processes; results are byte-identical to a serial
+run.  ``--cache-dir DIR`` memoises finished cells on disk, so a repeated
+invocation replays from the cache without simulating anything.
 """
 
 from __future__ import annotations
@@ -17,32 +22,56 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.harness import EXPERIMENTS
+from repro.harness import EXPERIMENTS, execution
 
 
-def main(argv) -> None:
+def parse_args(argv):
     scale = "bench"
     wanted = []
-    for arg in argv:
+    parallel = 1
+    cache_dir = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
         if arg in ("test", "bench"):
             scale = arg
         elif arg in EXPERIMENTS:
             wanted.append(arg)
+        elif arg == "--parallel":
+            if not args:
+                raise SystemExit("--parallel needs a worker count")
+            parallel = int(args.pop(0))
+            if parallel < 1:
+                raise SystemExit("--parallel must be >= 1")
+        elif arg == "--cache-dir":
+            if not args:
+                raise SystemExit("--cache-dir needs a directory")
+            cache_dir = args.pop(0)
         else:
             raise SystemExit(
                 f"unknown argument {arg!r}; artifacts: "
                 f"{', '.join(EXPERIMENTS)}")
-    wanted = wanted or list(EXPERIMENTS)
+    return scale, wanted or list(EXPERIMENTS), parallel, cache_dir
 
-    for name in wanted:
-        fn = EXPERIMENTS[name]
-        t0 = time.perf_counter()
-        print(f"\n{'#' * 70}\n# {name}  (running...)\n{'#' * 70}",
-              flush=True)
-        out = fn(scale=scale)
-        wall = time.perf_counter() - t0
-        print(out.rendered, flush=True)
-        print(f"\n[{name} done in {wall:.1f}s]", flush=True)
+
+def main(argv) -> None:
+    scale, wanted, parallel, cache_dir = parse_args(argv)
+
+    with execution(parallel=parallel, cache_dir=cache_dir) as ctx:
+        for name in wanted:
+            fn = EXPERIMENTS[name]
+            t0 = time.perf_counter()
+            print(f"\n{'#' * 70}\n# {name}  (running...)\n{'#' * 70}",
+                  flush=True)
+            out = fn(scale=scale)
+            wall = time.perf_counter() - t0
+            print(out.rendered, flush=True)
+            print(f"\n[{name} done in {wall:.1f}s]", flush=True)
+        if cache_dir:
+            print(f"\n[{ctx.simulations} simulations, "
+                  f"{ctx.cache.hits} cache hits, "
+                  f"{ctx.cache.stores} newly cached in {cache_dir}]",
+                  flush=True)
 
 
 if __name__ == "__main__":

@@ -11,17 +11,19 @@ event bus) plus a metrics registry and a Chrome-trace sink, then prints:
 - the steal-flow matrix (who executed whose tasks);
 - steal-latency / task-granularity histograms from the metrics registry.
 
-It also writes ``trace_analysis.trace.json``: open it in Perfetto
+It also writes ``trace_analysis.trace.json`` into ``out/`` (or the
+directory named as the third argument): open it in Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing`` to see one process row
 per place and one thread lane per worker.  To compare two runs
 numerically, save snapshots with ``repro profile --snapshot a.json`` and
 inspect them with ``repro diff-stats a.json b.json``.
 
-Run:  python examples/trace_analysis.py [app] [scheduler]
+Run:  python examples/trace_analysis.py [app] [scheduler] [out-dir]
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import ClusterSpec, SimRuntime, make_scheduler
@@ -35,15 +37,18 @@ from repro.apps import make_app
 from repro.obs import ChromeTraceSink, EventBus, MetricsRegistry
 
 
-def main(app_name: str = "dmg", sched_name: str = "DistWS") -> None:
+def main(app_name: str = "dmg", sched_name: str = "DistWS",
+         out_dir: str = "out") -> None:
     spec = ClusterSpec(n_places=8, workers_per_place=4, max_threads=8)
     rt = SimRuntime(spec, make_scheduler(sched_name), seed=1)
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, "trace_analysis.trace.json")
 
     # One bus, three subscribers: the trace recorder, a metrics registry,
     # and a Chrome trace-event exporter.  Attach before the run.
     bus = EventBus(sample_interval=100_000)
     metrics = bus.subscribe(MetricsRegistry())
-    bus.subscribe(ChromeTraceSink("trace_analysis.trace.json"))
+    bus.subscribe(ChromeTraceSink(trace_path))
     bus.attach(rt)
     recorder = TraceRecorder(rt)  # joins the existing bus
 
@@ -65,9 +70,9 @@ def main(app_name: str = "dmg", sched_name: str = "DistWS") -> None:
     for name, count, mean, p50, p90, vmax in metrics.summary_rows():
         print(f"  {name:>24s}: n={count:>6d}  mean={mean:>12.1f}"
               f"  p50={p50:>12.1f}  p90={p90:>12.1f}  max={vmax:>12.1f}")
-    print("\nChrome trace written to trace_analysis.trace.json "
+    print(f"\nChrome trace written to {trace_path} "
           "(open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":
-    main(*(sys.argv[1:3] or ["dmg", "DistWS"]))
+    main(*(sys.argv[1:4] or ["dmg", "DistWS"]))

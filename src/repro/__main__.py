@@ -38,17 +38,20 @@ def _resolve_fault_plan(args, spec):
     Fractional fault times (``crash:p2@0.4``) are relative to the
     fault-free makespan of the same (app, scheduler, cluster, seeds)
     configuration, so a calibration run is performed first when needed.
+    The calibration goes through the harness, so with ``--cache-dir`` a
+    repeated chaos experiment reuses the cached fault-free run instead
+    of re-simulating it.
     """
     from repro.faults import FaultPlan
+    from repro.harness import run_once
     plan = FaultPlan.parse(args.faults)
     if plan.needs_horizon:
-        cal_rt = SimRuntime(spec, make_scheduler(args.scheduler),
-                            seed=args.sched_seed)
-        cal_app = make_app(args.app, scale=args.scale, seed=args.seed)
-        cal = cal_app.run(cal_rt, validate=False)
+        cal = run_once(args.app, args.scheduler, spec,
+                       app_seed=args.seed, sched_seed=args.sched_seed,
+                       scale=args.scale, validate=False)
         print(f"[calibration: fault-free makespan "
-              f"{cal.makespan_cycles:.0f} cycles]")
-        plan = plan.resolved(cal.makespan_cycles)
+              f"{cal.stats.makespan_cycles:.0f} cycles]")
+        plan = plan.resolved(cal.stats.makespan_cycles)
     return plan
 
 
@@ -67,10 +70,13 @@ def _fault_rows(faults) -> list:
 
 
 def _cmd_run(args) -> int:
+    from repro.harness import execution
+
     spec = ClusterSpec(n_places=args.places,
                        workers_per_place=args.workers,
                        max_threads=args.workers + 4)
-    plan = _resolve_fault_plan(args, spec) if args.faults else None
+    with execution(cache_dir=args.cache_dir):
+        plan = _resolve_fault_plan(args, spec) if args.faults else None
     app = make_app(args.app, scale=args.scale, seed=args.seed)
     sched = make_scheduler(args.scheduler)
     rt = SimRuntime(spec, sched, seed=args.sched_seed)
@@ -195,12 +201,25 @@ def _cmd_diff_stats(args) -> int:
 
 
 def _cmd_reproduce(args) -> int:
+    from repro.harness import execution
+
     names = args.artifacts or list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown artifact {name!r}; known: "
                   f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
             return 2
+    with execution(parallel=args.parallel,
+                   cache_dir=args.cache_dir) as ctx:
+        code = _reproduce_artifacts(args, names)
+        if args.cache_dir:
+            print(f"\n[{ctx.simulations} simulations, "
+                  f"{ctx.cache.hits} cache hits, "
+                  f"{ctx.cache.stores} stored in {args.cache_dir}]")
+    return code
+
+
+def _reproduce_artifacts(args, names) -> int:
     for name in names:
         print(f"\n# {name}\n")
         out = EXPERIMENTS[name](scale=args.scale)
@@ -222,6 +241,14 @@ def _cmd_reproduce(args) -> int:
                     fh.write(svg)
                 print(f"[written {full}]")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
+    return value
 
 
 def _render_svgs(name: str, out):
@@ -273,6 +300,9 @@ def main(argv=None) -> int:
                       help="fault-injection spec, e.g. "
                            "'crash:p2@0.4,loss:steal=0.05,policy:relax' "
                            "(see repro.faults.plan for the grammar)")
+    runp.add_argument("--cache-dir", metavar="DIR",
+                      help="result cache for the --faults calibration "
+                           "pre-run (repeat chaos runs skip it)")
 
     tracep = sub.add_parser("trace",
                             help="trace a run; print critical path + "
@@ -329,6 +359,13 @@ def main(argv=None) -> int:
                       help="also write each artifact as JSON here")
     repp.add_argument("--svg-dir",
                       help="also render figures (fig5/fig6) as SVG here")
+    repp.add_argument("--parallel", type=_positive_int, default=1,
+                      metavar="N",
+                      help="shard the experiment grid over N processes "
+                           "(results identical to serial)")
+    repp.add_argument("--cache-dir", metavar="DIR",
+                      help="content-addressed result cache; repeated "
+                           "runs reuse finished cells")
 
     args = parser.parse_args(argv)
     if args.command == "list":

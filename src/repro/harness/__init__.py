@@ -2,6 +2,15 @@
 
 from repro.harness.experiment import CellResult, RunResult, run_cell, run_once
 from repro.harness.figures import bar_chart, grouped_bars, series_lines
+from repro.harness.parallel import (
+    CellRequest,
+    ExecutionContext,
+    ResultCache,
+    RunSpec,
+    current_context,
+    execution,
+    run_cells,
+)
 from repro.harness.paper import (
     EXPERIMENTS,
     MAIN_SCHEDULERS,
@@ -21,13 +30,19 @@ from repro.harness.paper import (
 from repro.harness.tables import render_table
 
 __all__ = [
+    "CellRequest",
     "CellResult",
     "EXPERIMENTS",
+    "ExecutionContext",
     "ExperimentOutput",
     "MAIN_SCHEDULERS",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "bar_chart",
     "chunk_study",
+    "current_context",
+    "execution",
     "fig3",
     "fig4",
     "fig5",
@@ -37,6 +52,7 @@ __all__ = [
     "grouped_bars",
     "render_table",
     "run_cell",
+    "run_cells",
     "run_once",
     "series_lines",
     "table1",

@@ -11,16 +11,12 @@ the paper's sequential-implementation baseline (Fig. 4).
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.apps import make_app
 from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
-from repro.cluster.topology import ClusterSpec, paper_cluster
-from repro.runtime.runtime import SimRuntime
+from repro.cluster.topology import ClusterSpec
 from repro.runtime.stats import RunStats
-from repro.sched import make_scheduler
 
 
 @dataclass
@@ -87,20 +83,20 @@ def run_once(app_name: str, scheduler: str,
     ``fault_plan`` (a resolved :class:`~repro.faults.plan.FaultPlan`)
     attaches a fault injector to the run, for scripted chaos experiments;
     the default ``None`` keeps the cell on the fault-free fast path.
+
+    Routes through the active :mod:`repro.harness.parallel` execution
+    context: with a result cache installed, a repeated run (same app,
+    scheduler, cluster, seeds, cost model, fault plan) is served from
+    disk instead of re-simulating.
     """
-    spec = spec or paper_cluster()
-    app = make_app(app_name, scale=scale, seed=app_seed,
-                   **(app_overrides or {}))
-    sched = make_scheduler(scheduler, **(sched_kwargs or {}))
-    rt = SimRuntime(spec, sched, costs=costs, seed=sched_seed)
-    if fault_plan is not None:
-        from repro.faults import FaultInjector
-        FaultInjector(fault_plan).attach(rt)
-    t0 = time.perf_counter()
-    stats = app.run(rt, validate=validate)
-    wall = time.perf_counter() - t0
-    return RunResult(app_name, scheduler, spec, app_seed, sched_seed,
-                     stats, wall)
+    from repro.harness.parallel import RunSpec, current_context
+
+    run_spec = RunSpec.build(
+        app_name, scheduler, spec, app_seed=app_seed,
+        sched_seed=sched_seed, scale=scale, costs=costs,
+        validate=validate, sched_kwargs=sched_kwargs,
+        app_overrides=app_overrides, fault_plan=fault_plan)
+    return current_context().run_specs([run_spec])[0]
 
 
 def run_cell(app_name: str, scheduler: str,
@@ -112,12 +108,17 @@ def run_cell(app_name: str, scheduler: str,
              validate: bool = True,
              sched_kwargs: Optional[dict] = None,
              app_overrides: Optional[dict] = None) -> CellResult:
-    """Run a cell once per scheduler seed and aggregate."""
-    cell = CellResult()
-    for s in sched_seeds:
-        cell.runs.append(run_once(
-            app_name, scheduler, spec, app_seed, s, scale, costs,
-            validate, sched_kwargs, app_overrides))
-        # Validating every repetition is redundant for deterministic apps.
-        validate = False
-    return cell
+    """Run a cell once per scheduler seed and aggregate.
+
+    Only the first seed validates application output (validating every
+    repetition of a deterministic app is redundant).  The cell executes
+    under the active execution context, so its seeds shard over the
+    process pool and hit the result cache when one is installed.
+    """
+    from repro.harness.parallel import CellRequest, current_context
+
+    request = CellRequest.build(
+        app_name, scheduler, spec, sched_seeds=sched_seeds,
+        app_seed=app_seed, scale=scale, costs=costs, validate=validate,
+        sched_kwargs=sched_kwargs, app_overrides=app_overrides)
+    return current_context().run_cells([request])[0]

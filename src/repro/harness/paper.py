@@ -5,6 +5,13 @@ an :class:`ExperimentOutput` holding structured rows plus a rendered text
 artifact.  The benchmarks under ``benchmarks/`` call these with reduced
 repetition counts; ``examples/reproduce_paper.py`` runs them all.
 
+Every function declares its whole (app x scheduler x cluster x seed)
+grid up front and executes it through
+:func:`repro.harness.parallel.run_cells`, so an enclosing
+``with execution(parallel=N, cache_dir=...)`` block shards the grid over
+a process pool and memoises finished cells — results stay byte-identical
+to serial execution for the same seeds.
+
 Paper artifacts covered:
 
 ========  ==========================================================
@@ -30,8 +37,9 @@ from repro.apps import PAPER_APPS
 from repro.apps.micro import MICRO_APPS
 from repro.cluster.costmodel import DEFAULT_COST_MODEL
 from repro.cluster.topology import ClusterSpec, paper_cluster, worker_sweep
-from repro.harness.experiment import CellResult, run_cell
+from repro.harness.experiment import CellResult
 from repro.harness.figures import bar_chart, grouped_bars, series_lines
+from repro.harness.parallel import CellRequest, run_cells
 from repro.harness.tables import render_table
 
 #: The three schedulers of Tables II/III and Figs. 6/7.
@@ -60,10 +68,12 @@ def _ms(cycles: float) -> float:
 def fig3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
          scale: str = "bench") -> ExperimentOutput:
     """Fig. 3: steals-to-task ratio (DistWS at 128 workers)."""
+    cells = run_cells([CellRequest.build(app, "DistWS", paper_cluster(),
+                                         sched_seeds=sched_seeds,
+                                         scale=scale)
+                       for app in apps])
     rows = []
-    for app in apps:
-        cell = run_cell(app, "DistWS", paper_cluster(),
-                        sched_seeds=sched_seeds, scale=scale)
+    for app, cell in zip(apps, cells):
         stats = cell.runs[0].stats
         remote = stats.steals.remote_hits
         rows.append([app, stats.steals.total_steals, remote,
@@ -82,12 +92,13 @@ def fig3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
 def fig4(apps: Sequence[str] = PAPER_APPS,
          scale: str = "bench") -> ExperimentOutput:
     """Fig. 4: sequential execution time per application."""
+    one_worker = ClusterSpec(n_places=1, workers_per_place=1,
+                             max_threads=2)
+    cells = run_cells([CellRequest.build(app, "X10WS", one_worker,
+                                         sched_seeds=(1,), scale=scale)
+                       for app in apps])
     rows = []
-    for app in apps:
-        cell = run_cell(app, "X10WS",
-                        ClusterSpec(n_places=1, workers_per_place=1,
-                                    max_threads=2),
-                        sched_seeds=(1,), scale=scale)
+    for app, cell in zip(apps, cells):
         run = cell.runs[0]
         rows.append([app, _ms(run.sequential_cycles),
                      _ms(run.stats.makespan_cycles)])
@@ -105,16 +116,21 @@ def fig5(apps: Sequence[str] = PAPER_APPS,
     rows = []
     series: Dict[str, Dict[str, List[float]]] = {}
     specs = worker_sweep(worker_counts)
+    grid = [(app, spec, sched)
+            for app in apps
+            for spec in specs
+            for sched in ("X10WS", "DistWS")]
+    cells = run_cells([CellRequest.build(app, sched, spec,
+                                         sched_seeds=sched_seeds,
+                                         scale=scale)
+                       for app, spec, sched in grid])
     for app in apps:
         series[app] = {"X10WS": [], "DistWS": []}
-        for spec in specs:
-            for sched in ("X10WS", "DistWS"):
-                cell = run_cell(app, sched, spec,
-                                sched_seeds=sched_seeds, scale=scale)
-                sp = cell.mean_speedup
-                series[app][sched].append(sp)
-                rows.append([app, sched, spec.total_workers, sp,
-                             cell.mean_makespan_ms])
+    for (app, spec, sched), cell in zip(grid, cells):
+        sp = cell.mean_speedup
+        series[app][sched].append(sp)
+        rows.append([app, sched, spec.total_workers, sp,
+                     cell.mean_makespan_ms])
     blocks = []
     for app in apps:
         blocks.append(series_lines(
@@ -129,10 +145,11 @@ def fig5(apps: Sequence[str] = PAPER_APPS,
 def table1(apps: Sequence[str] = PAPER_APPS,
            scale: str = "bench") -> ExperimentOutput:
     """Table I: mean task granularities (ms)."""
+    cells = run_cells([CellRequest.build(app, "DistWS", paper_cluster(),
+                                         sched_seeds=(1,), scale=scale)
+                       for app in apps])
     rows = []
-    for app in apps:
-        cell = run_cell(app, "DistWS", paper_cluster(),
-                        sched_seeds=(1,), scale=scale)
+    for app, cell in zip(apps, cells):
         stats = cell.runs[0].stats
         rows.append([app, _ms(stats.mean_task_granularity_cycles)])
     rendered = render_table(["app", "granularity (ms)"], rows,
@@ -142,12 +159,12 @@ def table1(apps: Sequence[str] = PAPER_APPS,
 
 
 def _three_scheduler_matrix(apps, sched_seeds, scale):
-    cells: Dict[tuple, CellResult] = {}
-    for app in apps:
-        for sched in MAIN_SCHEDULERS:
-            cells[(app, sched)] = run_cell(
-                app, sched, paper_cluster(), sched_seeds=sched_seeds,
-                scale=scale)
+    grid = [(app, sched) for app in apps for sched in MAIN_SCHEDULERS]
+    results = run_cells([CellRequest.build(app, sched, paper_cluster(),
+                                           sched_seeds=sched_seeds,
+                                           scale=scale)
+                         for app, sched in grid])
+    cells: Dict[tuple, CellResult] = dict(zip(grid, results))
     return cells
 
 
@@ -230,12 +247,12 @@ def chunk_study(chunks: Sequence[int] = (1, 2, 4, 8),
                 app: str = "turing", sched_seeds=(1, 2),
                 scale: str = "bench") -> ExperimentOutput:
     """§VIII.2a: how the distributed steal chunk size affects makespan."""
-    rows = []
-    for c in chunks:
-        cell = run_cell(app, "DistWS", paper_cluster(),
-                        sched_seeds=sched_seeds, scale=scale,
-                        sched_kwargs={"remote_chunk_size": c})
-        rows.append([c, cell.mean_makespan_ms, cell.mean_speedup])
+    cells = run_cells([CellRequest.build(
+        app, "DistWS", paper_cluster(), sched_seeds=sched_seeds,
+        scale=scale, sched_kwargs={"remote_chunk_size": c})
+        for c in chunks])
+    rows = [[c, cell.mean_makespan_ms, cell.mean_speedup]
+            for c, cell in zip(chunks, cells)]
     rendered = render_table(
         ["chunk", "makespan (ms)", "speedup"], rows,
         title=f"§VIII.2 — steal chunk size study ({app})")
@@ -250,13 +267,18 @@ def granularity_study(sched_seeds=(1,),
     The paper: "The DistWS algorithm performed worse on these smaller
     applications" — fine tasks cannot amortise distributed-steal costs.
     """
+    grid = [(cls, sched) for cls in MICRO_APPS
+            for sched in ("X10WS", "DistWS")]
+    cells = run_cells([CellRequest.build(cls.name, sched, paper_cluster(),
+                                         sched_seeds=sched_seeds,
+                                         scale=scale)
+                       for cls, sched in grid])
+    per_app = {}
+    for (cls, sched), cell in zip(grid, cells):
+        per_app.setdefault(cls, {})[sched] = cell.mean_makespan_ms
     rows = []
     for cls in MICRO_APPS:
-        per = {}
-        for sched in ("X10WS", "DistWS"):
-            cell = run_cell(cls.name, sched, paper_cluster(),
-                            sched_seeds=sched_seeds, scale=scale)
-            per[sched] = cell.mean_makespan_ms
+        per = per_app[cls]
         rows.append([cls.name, cls.granularity_ms, per["X10WS"],
                      per["DistWS"],
                      100 * (per["X10WS"] / per["DistWS"] - 1)])
@@ -272,11 +294,13 @@ def granularity_study(sched_seeds=(1,),
 
 def uts_study(sched_seeds=(1, 2), scale: str = "bench") -> ExperimentOutput:
     """§X: UTS under DistWS vs randomized stealing vs lifelines."""
-    rows = []
-    for sched in ("RandomWS", "DistWS", "Lifeline"):
-        cell = run_cell("uts", sched, paper_cluster(),
-                        sched_seeds=sched_seeds, scale=scale)
-        rows.append([sched, cell.mean_makespan_ms, cell.mean_speedup])
+    schedulers = ("RandomWS", "DistWS", "Lifeline")
+    cells = run_cells([CellRequest.build("uts", sched, paper_cluster(),
+                                         sched_seeds=sched_seeds,
+                                         scale=scale)
+                       for sched in schedulers])
+    rows = [[sched, cell.mean_makespan_ms, cell.mean_speedup]
+            for sched, cell in zip(schedulers, cells)]
     base = rows[0][1]
     for row in rows:
         row.append(100 * (base / row[1] - 1))

@@ -1,0 +1,409 @@
+"""Parallel sharded experiment execution with a content-addressed cache.
+
+The paper's evaluation (§VIII) is a grid: every (application, scheduler,
+cluster, seed) cell is one independent, deterministic simulation.  This
+module shards that grid over a process pool and memoises finished cells
+on disk, so ``examples/reproduce_paper.py`` scales with the host's cores
+and repeated runs (including the ``--faults`` calibration pre-runs) skip
+simulation entirely.
+
+Three layers:
+
+- :class:`RunSpec` — a frozen, picklable description of *one* simulation
+  run.  Its :meth:`RunSpec.cache_key` is a stable SHA-256 over every
+  input that can change the resulting :class:`RunStats` (app + scale +
+  seeds, scheduler + kwargs, cluster spec, cost model, fault plan), so
+  equal keys imply byte-identical ``RunStats.snapshot()`` output.
+- :class:`ResultCache` — a content-addressed directory of pickled
+  :class:`RunResult` objects, written atomically, keyed by
+  :meth:`RunSpec.cache_key`.  Corrupt or unreadable entries count as
+  misses and are evicted.
+- :class:`ExecutionContext` — how runs execute right now: a worker
+  budget (``parallel``) and an optional cache.  The active context is
+  process-global and installed with :func:`execution`; the serial
+  default keeps every existing entry point byte-identical to the
+  pre-parallel behaviour.
+
+Determinism contract: a cell's result depends only on its
+:class:`RunSpec`.  Sharding changes *where* a cell simulates, never its
+seeds, so for any worker count (and any cache state) the grid's
+``RunStats.snapshot()`` JSON is byte-identical to serial execution.
+Only ``RunResult.wall_seconds`` (host-side timing) varies between
+executions; it never enters a snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.topology import ClusterSpec, paper_cluster
+from repro.errors import ConfigError
+
+#: Bump when the simulation's observable behaviour changes in a way the
+#: spec payload cannot express (schema migrations invalidate old entries).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _freeze_kwargs(kwargs: Optional[dict]) -> Tuple[Tuple[str, object], ...]:
+    """Canonicalise an optional kwargs dict into a sorted item tuple."""
+    if not kwargs:
+        return ()
+    return tuple(sorted(kwargs.items()))
+
+
+def _jsonable(value):
+    """Recursively convert specs/cost models/fault plans to JSON shapes."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(value[k]) for k in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation run's statistics."""
+
+    app: str
+    scheduler: str
+    spec: ClusterSpec
+    app_seed: int = 12345
+    sched_seed: int = 1
+    scale: str = "bench"
+    costs: CostModel = DEFAULT_COST_MODEL
+    validate: bool = True
+    #: Sorted ``(key, value)`` items; use :meth:`build` to pass dicts.
+    sched_kwargs: Tuple[Tuple[str, object], ...] = ()
+    app_overrides: Tuple[Tuple[str, object], ...] = ()
+    fault_plan: Optional[object] = None  # a resolved FaultPlan, or None
+
+    @classmethod
+    def build(cls, app: str, scheduler: str,
+              spec: Optional[ClusterSpec] = None,
+              app_seed: int = 12345, sched_seed: int = 1,
+              scale: str = "bench",
+              costs: CostModel = DEFAULT_COST_MODEL,
+              validate: bool = True,
+              sched_kwargs: Optional[dict] = None,
+              app_overrides: Optional[dict] = None,
+              fault_plan=None) -> "RunSpec":
+        """Normalising constructor mirroring ``run_once``'s signature."""
+        return cls(app=app, scheduler=scheduler,
+                   spec=spec or paper_cluster(),
+                   app_seed=app_seed, sched_seed=sched_seed, scale=scale,
+                   costs=costs, validate=validate,
+                   sched_kwargs=_freeze_kwargs(sched_kwargs),
+                   app_overrides=_freeze_kwargs(app_overrides),
+                   fault_plan=fault_plan)
+
+    def payload(self) -> Dict[str, object]:
+        """Canonical JSON-shaped view of every result-determining input."""
+        return {
+            "version": CACHE_SCHEMA_VERSION,
+            "app": self.app,
+            "scheduler": self.scheduler,
+            "spec": _jsonable(self.spec),
+            "app_seed": self.app_seed,
+            "sched_seed": self.sched_seed,
+            "scale": self.scale,
+            "costs": _jsonable(self.costs),
+            "validate": self.validate,
+            "sched_kwargs": _jsonable(dict(self.sched_kwargs)),
+            "app_overrides": _jsonable(dict(self.app_overrides)),
+            "fault_plan": _jsonable(self.fault_plan),
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash: equal keys => byte-identical snapshots."""
+        canon = json.dumps(self.payload(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def simulate(spec: RunSpec):
+    """Execute one :class:`RunSpec` in this process (pool entry point).
+
+    Top-level (picklable) on purpose; builds a fresh app + scheduler +
+    runtime, so runs are independent whichever process hosts them.
+    """
+    import time
+
+    from repro.apps import make_app
+    from repro.harness.experiment import RunResult
+    from repro.runtime.runtime import SimRuntime
+    from repro.sched import make_scheduler
+
+    app = make_app(spec.app, scale=spec.scale, seed=spec.app_seed,
+                   **dict(spec.app_overrides))
+    sched = make_scheduler(spec.scheduler, **dict(spec.sched_kwargs))
+    rt = SimRuntime(spec.spec, sched, costs=spec.costs,
+                    seed=spec.sched_seed)
+    if spec.fault_plan is not None:
+        from repro.faults import FaultInjector
+        FaultInjector(spec.fault_plan).attach(rt)
+    t0 = time.perf_counter()
+    stats = app.run(rt, validate=spec.validate)
+    wall = time.perf_counter() - t0
+    return RunResult(spec.app, spec.scheduler, spec.spec, spec.app_seed,
+                     spec.sched_seed, stats, wall)
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of pickled :class:`RunResult`\\ s."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.pkl")
+
+    def get(self, spec: RunSpec):
+        """The cached :class:`RunResult` for ``spec``, or ``None``."""
+        entry = self._entry(spec.cache_key())
+        try:
+            with open(entry, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, OSError):
+            # A torn or stale entry is a miss; evict it so the slot heals.
+            try:
+                os.unlink(entry)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result) -> None:
+        """Store ``result`` under ``spec``'s key (atomic rename)."""
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._entry(spec.cache_key()))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.path)
+                   if name.endswith(".pkl"))
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        for name in os.listdir(self.path):
+            if name.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class CellRequest:
+    """One experiment-grid cell: a run per scheduler seed, aggregated.
+
+    Mirrors ``run_cell``'s signature; like the serial path, only the
+    first seed validates application output (repeating validation on a
+    deterministic app is redundant).
+    """
+
+    app: str
+    scheduler: str
+    spec: ClusterSpec
+    sched_seeds: Tuple[int, ...] = (1, 2, 3)
+    app_seed: int = 12345
+    scale: str = "bench"
+    costs: CostModel = DEFAULT_COST_MODEL
+    validate: bool = True
+    sched_kwargs: Tuple[Tuple[str, object], ...] = ()
+    app_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def build(cls, app: str, scheduler: str,
+              spec: Optional[ClusterSpec] = None,
+              sched_seeds: Sequence[int] = (1, 2, 3),
+              app_seed: int = 12345, scale: str = "bench",
+              costs: CostModel = DEFAULT_COST_MODEL,
+              validate: bool = True,
+              sched_kwargs: Optional[dict] = None,
+              app_overrides: Optional[dict] = None) -> "CellRequest":
+        if not sched_seeds:
+            raise ConfigError("a cell needs at least one scheduler seed")
+        return cls(app=app, scheduler=scheduler,
+                   spec=spec or paper_cluster(),
+                   sched_seeds=tuple(sched_seeds), app_seed=app_seed,
+                   scale=scale, costs=costs, validate=validate,
+                   sched_kwargs=_freeze_kwargs(sched_kwargs),
+                   app_overrides=_freeze_kwargs(app_overrides))
+
+    def to_specs(self) -> List[RunSpec]:
+        """Expand into per-seed :class:`RunSpec`\\ s (validate-first)."""
+        specs = []
+        validate = self.validate
+        for s in self.sched_seeds:
+            specs.append(RunSpec(
+                app=self.app, scheduler=self.scheduler, spec=self.spec,
+                app_seed=self.app_seed, sched_seed=s, scale=self.scale,
+                costs=self.costs, validate=validate,
+                sched_kwargs=self.sched_kwargs,
+                app_overrides=self.app_overrides))
+            validate = False
+        return specs
+
+
+class ExecutionContext:
+    """How experiment runs execute: worker budget plus optional cache."""
+
+    def __init__(self, parallel: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        if parallel < 1:
+            raise ConfigError(f"parallel must be >= 1, got {parallel}")
+        self.parallel = parallel
+        self.cache = cache
+        #: Simulations actually executed (cache hits excluded).
+        self.simulations = 0
+
+    # -- execution ---------------------------------------------------------
+    def run_specs(self, specs: Sequence[RunSpec],
+                  on_result: Optional[Callable[[int, RunSpec, object],
+                                               None]] = None) -> List[object]:
+        """Execute ``specs``, returning results in input order.
+
+        Identical specs are simulated once and fanned back out.  With a
+        cache attached, hits skip simulation; fresh results are stored.
+        ``on_result(index, spec, result)`` streams each run back as it
+        completes (indices arrive out of order under a pool; the returned
+        list is always input-ordered).
+        """
+        results: List[object] = [None] * len(specs)
+        pending: Dict[str, List[int]] = {}
+
+        def deliver(indices: List[int], result) -> None:
+            for i in indices:
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, specs[i], result)
+
+        for i, spec in enumerate(specs):
+            key = spec.cache_key()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    deliver([i], hit)
+                    continue
+            pending[key] = [i]
+
+        todo = [(indices, specs[indices[0]])
+                for indices in pending.values()]
+        if len(todo) > 1 and self.parallel > 1:
+            self._run_pool(todo, deliver)
+        else:
+            for indices, spec in todo:
+                result = simulate(spec)
+                self.simulations += 1
+                if self.cache is not None:
+                    self.cache.put(spec, result)
+                deliver(indices, result)
+        return results
+
+    def _run_pool(self, todo, deliver) -> None:
+        """Shard ``todo`` over a process pool, streaming completions."""
+        workers = min(self.parallel, len(todo))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(simulate, spec): (indices, spec)
+                       for indices, spec in todo}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for fut in done:
+                    indices, spec = futures[fut]
+                    result = fut.result()  # propagate worker exceptions
+                    self.simulations += 1
+                    if self.cache is not None:
+                        self.cache.put(spec, result)
+                    deliver(indices, result)
+
+    def run_cells(self, requests: Sequence[CellRequest]) -> List[object]:
+        """Execute a grid of cells; one :class:`CellResult` per request.
+
+        The whole grid is flattened to runs first, so the pool shards
+        across cells (not just within one cell's seeds).
+        """
+        from repro.harness.experiment import CellResult
+
+        specs: List[RunSpec] = []
+        slices: List[Tuple[int, int]] = []
+        for req in requests:
+            start = len(specs)
+            specs.extend(req.to_specs())
+            slices.append((start, len(specs)))
+        flat = self.run_specs(specs)
+        return [CellResult(runs=flat[start:stop])
+                for start, stop in slices]
+
+
+#: The active context; the serial, cache-less default reproduces the
+#: original single-process behaviour exactly.
+_current = ExecutionContext()
+
+
+def current_context() -> ExecutionContext:
+    """The execution context harness entry points route through."""
+    return _current
+
+
+@contextmanager
+def execution(parallel: int = 1, cache_dir: Optional[str] = None,
+              cache: Optional[ResultCache] = None):
+    """Install an :class:`ExecutionContext` for the enclosed block.
+
+    ``with execution(parallel=4, cache_dir=".repro-cache"): fig5()``
+    shards every cell fig5 runs over four processes and memoises them.
+    """
+    global _current
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    ctx = ExecutionContext(parallel=parallel, cache=cache)
+    previous = _current
+    _current = ctx
+    try:
+        yield ctx
+    finally:
+        _current = previous
+
+
+def run_cells(requests: Sequence[CellRequest]) -> List[object]:
+    """Execute cells under the active context (module-level convenience)."""
+    return current_context().run_cells(requests)

@@ -1,0 +1,233 @@
+"""Tests for the parallel sharded executor and the on-disk result cache.
+
+The load-bearing guarantee is the determinism contract of
+``repro.harness.parallel``: for the same seed grid, any worker count and
+any cache state produce ``RunStats.snapshot()`` JSON byte-identical to
+serial execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.faults.plan import PlaceCrash
+from repro.harness.parallel import (
+    CellRequest,
+    ExecutionContext,
+    ResultCache,
+    RunSpec,
+    current_context,
+    execution,
+    run_cells,
+)
+
+
+def tiny_spec():
+    return ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+
+
+def grid_requests():
+    """A small fixed (app x scheduler x seed) grid."""
+    return [CellRequest.build(app, sched, tiny_spec(),
+                              sched_seeds=(1, 2), scale="test")
+            for app in ("uts", "quicksort")
+            for sched in ("DistWS", "RandomWS")]
+
+
+def snapshot_bytes(cells):
+    """Canonical byte string for a list of CellResults."""
+    return json.dumps(
+        [[json.dumps(r.stats.snapshot(), sort_keys=True) for r in c.runs]
+         for c in cells]).encode()
+
+
+class TestDifferential:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        """N in {1, 2, 4} workers all reproduce the serial snapshots."""
+        serial = snapshot_bytes(run_cells(grid_requests()))
+        for n in (1, 2, 4):
+            with execution(parallel=n):
+                assert snapshot_bytes(run_cells(grid_requests())) \
+                    == serial, f"parallel={n} diverged from serial"
+
+    def test_results_return_in_input_order(self):
+        specs = [RunSpec.build("uts", sched, tiny_spec(), sched_seed=s,
+                               scale="test")
+                 for sched in ("DistWS", "RandomWS") for s in (1, 2)]
+        ctx = ExecutionContext(parallel=2)
+        results = ctx.run_specs(specs)
+        assert len(results) == len(specs)
+        for spec, res in zip(specs, results):
+            assert res.scheduler == spec.scheduler
+            assert res.sched_seed == spec.sched_seed
+
+    def test_streaming_callback_sees_every_index(self):
+        specs = [RunSpec.build("uts", "DistWS", tiny_spec(), sched_seed=s,
+                               scale="test") for s in (1, 2, 3)]
+        seen = []
+        ctx = ExecutionContext(parallel=2)
+        results = ctx.run_specs(
+            specs, on_result=lambda i, spec, res: seen.append((i, res)))
+        assert sorted(i for i, _ in seen) == [0, 1, 2]
+        for i, res in seen:
+            assert results[i] is res
+
+    def test_identical_specs_simulate_once(self):
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        ctx = ExecutionContext()
+        a, b, c = ctx.run_specs([spec, spec, spec])
+        assert ctx.simulations == 1
+        assert a is b is c
+
+
+class TestCacheKey:
+    def base(self, **kw):
+        return RunSpec.build("uts", "DistWS", tiny_spec(), scale="test",
+                             **kw)
+
+    def test_stable_under_kwargs_ordering(self):
+        a = self.base(sched_kwargs={"remote_chunk_size": 4, "alpha": 1})
+        b = self.base(sched_kwargs={"alpha": 1, "remote_chunk_size": 4})
+        assert a.cache_key() == b.cache_key()
+
+    def test_differs_by_every_determining_input(self):
+        base = self.base()
+        variants = [
+            self.base(sched_seed=9),
+            self.base(app_seed=999),
+            self.base(validate=False),
+            self.base(sched_kwargs={"remote_chunk_size": 4}),
+            self.base(app_overrides={"decay": 0.5}),
+            self.base(costs=dataclasses.replace(DEFAULT_COST_MODEL,
+                                                closure_create=1.0)),
+            self.base(fault_plan=FaultPlan(
+                crashes=(PlaceCrash(1, 0.5),), seed=7)),
+            RunSpec.build("uts", "RandomWS", tiny_spec(), scale="test"),
+            RunSpec.build("quicksort", "DistWS", tiny_spec(),
+                          scale="test"),
+            RunSpec.build("uts", "DistWS", tiny_spec(), scale="bench"),
+            RunSpec.build("uts", "DistWS",
+                          ClusterSpec(n_places=4, workers_per_place=2,
+                                      max_threads=4), scale="test"),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == 1 + len(variants), \
+            "two distinct configurations collided on one cache key"
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        assert cache.get(spec) is None
+        assert cache.misses == 1
+        cache.put(spec, {"payload": 42})
+        assert len(cache) == 1
+        assert cache.get(spec) == {"payload": 42}
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        cache.put(spec, {"payload": 1})
+        entry = tmp_path / f"{spec.cache_key()}.pkl"
+        entry.write_bytes(b"\x80\x05 torn write")
+        assert cache.get(spec) is None
+        assert not entry.exists(), "corrupt entry should be evicted"
+        # The slot heals: a fresh put works again.
+        cache.put(spec, {"payload": 2})
+        assert cache.get(spec) == {"payload": 2}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        cache.put(spec, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(spec) is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        cache.put(spec, [1, 2, 3])
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if not p.name.endswith(".pkl")]
+        assert leftovers == []
+
+
+class TestContextCaching:
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        requests = grid_requests()
+        with execution(cache_dir=str(tmp_path)) as cold:
+            first = snapshot_bytes(run_cells(requests))
+            assert cold.simulations == 8
+            assert cold.cache.stores == 8
+        with execution(cache_dir=str(tmp_path)) as warm:
+            second = snapshot_bytes(run_cells(requests))
+            assert warm.simulations == 0, \
+                "warm cache must not simulate anything"
+            assert warm.cache.hits == 8
+        assert first == second
+
+    def test_config_change_invalidates(self, tmp_path):
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        changed = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test",
+                                sched_kwargs={"remote_chunk_size": 4})
+        with execution(cache_dir=str(tmp_path)) as ctx:
+            ctx.run_specs([spec])
+            ctx.run_specs([changed])
+            assert ctx.simulations == 2, \
+                "a changed scheduler config must re-simulate"
+
+    def test_cached_results_match_fresh(self, tmp_path):
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        fresh = ExecutionContext().run_specs([spec])[0]
+        with execution(cache_dir=str(tmp_path)):
+            current_context().run_specs([spec])
+        with execution(cache_dir=str(tmp_path)) as ctx:
+            cached = ctx.run_specs([spec])[0]
+            assert ctx.simulations == 0
+        assert json.dumps(cached.stats.snapshot(), sort_keys=True) \
+            == json.dumps(fresh.stats.snapshot(), sort_keys=True)
+
+
+class TestContextPlumbing:
+    def test_rejects_nonpositive_parallel(self):
+        with pytest.raises(ConfigError):
+            ExecutionContext(parallel=0)
+
+    def test_execution_restores_previous_context(self):
+        outer = current_context()
+        with execution(parallel=3) as ctx:
+            assert current_context() is ctx
+            assert ctx.parallel == 3
+        assert current_context() is outer
+
+    def test_nested_contexts_unwind_in_order(self):
+        with execution(parallel=2) as a:
+            with execution(parallel=4) as b:
+                assert current_context() is b
+            assert current_context() is a
+
+    def test_run_spec_is_picklable(self):
+        spec = RunSpec.build(
+            "uts", "DistWS", tiny_spec(), scale="test",
+            sched_kwargs={"remote_chunk_size": 4},
+            fault_plan=FaultPlan(crashes=(PlaceCrash(1, 0.5),), seed=7))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_cell_request_requires_seeds(self):
+        with pytest.raises(ConfigError):
+            CellRequest.build("uts", "DistWS", tiny_spec(),
+                              sched_seeds=())

@@ -95,6 +95,31 @@ def test_distws_selectivity_property(mask, seed):
             assert place == 0
 
 
+def test_remote_chunk_accounting():
+    """Each successful distributed steal ships at most ``remote_chunk_size``
+    tasks, and the per-deque counters agree with the global stats."""
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, DistWS(), seed=3)
+    program, trace = mixed_workload(64, flexible_mask=[1], work=2_000_000)
+    rt.run(program)
+    counters = rt.stats.steals
+    assert counters.remote_hits > 0
+    assert counters.remote_tasks_received \
+        <= counters.remote_hits * rt.scheduler.remote_chunk_size
+    assert counters.remote_tasks_received \
+        == sum(p.shared.remote_takes for p in rt.places)
+    assert rt.stats.tasks_executed_remote \
+        == sum(1 for _, place in trace if place != 0)
+
+
+def test_paper_chunk_sizes():
+    """§V-B fixes the steal chunk at two tasks; the baselines steal singly."""
+    assert DistWS().remote_chunk_size == 2
+    assert DistWSNS().remote_chunk_size == 2
+    assert RandomWS().remote_chunk_size == 1
+    assert LifelineWS().remote_chunk_size == 1
+
+
 def test_locality_guard_catches_scheduler_bugs():
     """The runtime aborts if a locality-guaranteeing scheduler ever lets
     a sensitive task execute away from home (a planted bug here)."""

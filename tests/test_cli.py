@@ -78,3 +78,108 @@ class TestCli:
                      "--fail-over", "10"]) == 1
         assert main(["diff-stats", str(a), str(b),
                      "--fail-over", "60"]) == 0
+
+    def test_profile_without_artifact_flags(self, capsys, tmp_path,
+                                            monkeypatch):
+        """The default profile path prints tables and writes nothing."""
+        monkeypatch.chdir(tmp_path)
+        code = main(["profile", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metric histograms" in out
+        assert "event counts" in out
+        assert "chrome trace written" not in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_diff_stats_nested_and_missing_keys(self, capsys, tmp_path):
+        """Nested snapshots flatten to dotted keys; non-numeric or
+        one-sided leaves diff without a pct and never trip --fail-over."""
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"steals": {"remote_hits": 10},
+                                 "only_base": 5}))
+        b.write_text(json.dumps({"steals": {"remote_hits": 12},
+                                 "only_cand": 7}))
+        assert main(["diff-stats", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "steals.remote_hits" in out
+        assert "only_base" in out and "only_cand" in out
+        # remote_hits regressed 20%; the one-sided keys have no pct.
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "19"]) == 1
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "21"]) == 0
+
+    def test_diff_stats_fail_over_boundary_is_exclusive(self, capsys,
+                                                        tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"makespan_cycles": 100}))
+        b.write_text(json.dumps({"makespan_cycles": 110}))
+        # Exactly at the threshold passes; only exceeding it fails.
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "10"]) == 0
+        assert main(["diff-stats", str(a), str(b),
+                     "--fail-over", "9.9"]) == 1
+
+
+class TestCliParallel:
+    def test_reproduce_wires_context_flags(self, capsys, tmp_path,
+                                           monkeypatch):
+        """--parallel/--cache-dir install the execution context the
+        artifact functions run under."""
+        from types import SimpleNamespace
+
+        from repro.harness import EXPERIMENTS, current_context
+
+        observed = {}
+
+        def fake(scale="bench"):
+            ctx = current_context()
+            observed["parallel"] = ctx.parallel
+            observed["cached"] = ctx.cache is not None
+            observed["scale"] = scale
+            return SimpleNamespace(rendered="fake artifact body")
+
+        monkeypatch.setitem(EXPERIMENTS, "fakeart", fake)
+        code = main(["reproduce", "fakeart", "--scale", "test",
+                     "--parallel", "2", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert observed == {"parallel": 2, "cached": True,
+                            "scale": "test"}
+        out = capsys.readouterr().out
+        assert "fake artifact body" in out
+        assert "0 simulations" in out
+
+    def test_reproduce_warm_cache_skips_simulation(self, capsys,
+                                                   tmp_path, monkeypatch):
+        from types import SimpleNamespace
+
+        from repro.cluster.topology import ClusterSpec
+        from repro.harness import CellRequest, EXPERIMENTS, run_cells
+
+        def tiny(scale="bench"):
+            cell = run_cells([CellRequest.build(
+                "uts", "DistWS",
+                ClusterSpec(n_places=2, workers_per_place=2,
+                            max_threads=4),
+                sched_seeds=(1,), scale="test")])[0]
+            return SimpleNamespace(
+                rendered=f"tasks={cell.runs[0].stats.tasks_executed}")
+
+        monkeypatch.setitem(EXPERIMENTS, "tinyart", tiny)
+        argv = ["reproduce", "tinyart", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[1 simulations, 0 cache hits, 1 stored" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulations, 1 cache hits, 0 stored" in warm
+        # The cached replay renders the identical artifact.
+        assert [l for l in cold.splitlines() if l.startswith("tasks=")] \
+            == [l for l in warm.splitlines() if l.startswith("tasks=")]
+
+    def test_reproduce_rejects_nonpositive_parallel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig6", "--parallel", "0"])

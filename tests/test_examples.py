@@ -30,8 +30,10 @@ def test_annotating_tasks_runs():
     assert run_example("annotating_tasks.py") == "ok"
 
 
-def test_trace_analysis_runs():
-    assert run_example("trace_analysis.py", ["uts", "DistWS"]) == "ok"
+def test_trace_analysis_runs(tmp_path):
+    assert run_example("trace_analysis.py",
+                       ["uts", "DistWS", str(tmp_path)]) == "ok"
+    assert (tmp_path / "trace_analysis.trace.json").exists()
 
 
 def test_live_threads_runs():
