@@ -26,10 +26,30 @@ from repro.harness.tables import render_table
 
 
 def _cmd_list(_args) -> int:
+    from repro.tune import SCHEDULER_KNOBS
+
     print("applications:", ", ".join(sorted(APP_REGISTRY)))
     print("schedulers:  ", ", ".join(sorted(SCHEDULERS)))
     print("artifacts:   ", ", ".join(EXPERIMENTS))
+    print("\nknobs (set with --sched-arg key=value, search with "
+          "`repro tune`):")
+    for sched in sorted(SCHEDULER_KNOBS):
+        rows = [[k.name, k.kind, k.default_label(), k.doc]
+                for k in SCHEDULER_KNOBS[sched]]
+        print()
+        print(render_table(["knob", "type", "default", "description"],
+                           rows, title=sched))
     return 0
+
+
+def _canon_scheduler(name: str) -> str:
+    """Resolve a scheduler name case-insensitively (CLI convenience)."""
+    for known in SCHEDULERS:
+        if known.lower() == name.lower():
+            return known
+    from repro.errors import ConfigError
+    raise ConfigError(
+        f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}")
 
 
 def _resolve_fault_plan(args, spec):
@@ -71,14 +91,19 @@ def _fault_rows(faults) -> list:
 
 def _cmd_run(args) -> int:
     from repro.harness import execution
+    from repro.tune import make_controller, parse_sched_args
 
     spec = ClusterSpec(n_places=args.places,
                        workers_per_place=args.workers,
                        max_threads=args.workers + 4)
+    sched_kwargs = parse_sched_args(args.scheduler,
+                                    args.sched_arg) or {}
+    if args.controller:
+        sched_kwargs["controller"] = make_controller(args.controller)
     with execution(cache_dir=args.cache_dir):
         plan = _resolve_fault_plan(args, spec) if args.faults else None
     app = make_app(args.app, scale=args.scale, seed=args.seed)
-    sched = make_scheduler(args.scheduler)
+    sched = make_scheduler(args.scheduler, **sched_kwargs)
     rt = SimRuntime(spec, sched, seed=args.sched_seed)
     if plan is not None:
         from repro.faults import FaultInjector
@@ -93,6 +118,62 @@ def _cmd_run(args) -> int:
         print(render_table(["fault metric", "value"],
                            _fault_rows(stats.faults),
                            title="fault injection"))
+    if args.controller:
+        import json
+        print()
+        snap = sched.controller.snapshot()
+        print(render_table(
+            ["controller state", "value"],
+            [[k, json.dumps(snap[k])] for k in sorted(snap)],
+            title=f"online controller ({args.controller})"))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.errors import ConfigError
+    from repro.harness import execution
+    from repro.tune import (
+        GridSearch,
+        RandomSearch,
+        SuccessiveHalving,
+        TuneCell,
+        tune,
+    )
+
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers,
+                       max_threads=args.workers + 4)
+    apps = args.app or ["uts"]
+    schedulers = [_canon_scheduler(s)
+                  for s in (args.scheduler or ["DistWS"])]
+    seeds = tuple(range(1, args.seeds + 1))
+    cells = [TuneCell(app=app, scheduler=sched, spec=spec,
+                      scale=args.scale, app_seed=args.seed,
+                      sched_seeds=seeds)
+             for app in apps for sched in schedulers]
+    if args.engine == "grid":
+        engine = GridSearch(budget=args.budget)
+    elif args.engine == "random":
+        if args.budget is None:
+            raise ConfigError("the random engine needs --budget")
+        engine = RandomSearch(budget=args.budget, seed=args.search_seed)
+    else:
+        if args.budget is None:
+            raise ConfigError("the asha engine needs --budget")
+        engine = SuccessiveHalving(budget=args.budget,
+                                   seed=args.search_seed, eta=args.eta)
+    with execution(parallel=args.parallel,
+                   cache_dir=args.cache_dir) as ctx:
+        report = tune(cells, engine, knob_names=args.knob or None)
+        print(report.rendered(top=args.top))
+        if args.cache_dir:
+            print(f"\n[{ctx.simulations} simulations, "
+                  f"{ctx.cache.hits} cache hits, "
+                  f"{ctx.cache.stores} stored in {args.cache_dir}]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"[report written to {args.json}]")
     return 0
 
 
@@ -220,9 +301,13 @@ def _cmd_reproduce(args) -> int:
 
 
 def _reproduce_artifacts(args, names) -> int:
+    from repro.tune import parse_sched_args_any
+
+    sched_kwargs = parse_sched_args_any(getattr(args, "sched_arg", None))
     for name in names:
         print(f"\n# {name}\n")
-        out = EXPERIMENTS[name](scale=args.scale)
+        out = EXPERIMENTS[name](scale=args.scale,
+                                sched_kwargs=sched_kwargs)
         print(out.rendered)
         if args.json_dir:
             import os
@@ -303,6 +388,12 @@ def main(argv=None) -> int:
     runp.add_argument("--cache-dir", metavar="DIR",
                       help="result cache for the --faults calibration "
                            "pre-run (repeat chaos runs skip it)")
+    runp.add_argument("--sched-arg", action="append", metavar="KEY=VALUE",
+                      help="set a scheduler knob (repeatable; see "
+                           "`repro list` for knobs and defaults)")
+    runp.add_argument("--controller", metavar="NAME",
+                      help="attach an online feedback controller "
+                           "(aimd-chunk or idle-threshold)")
 
     tracep = sub.add_parser("trace",
                             help="trace a run; print critical path + "
@@ -366,19 +457,72 @@ def main(argv=None) -> int:
     repp.add_argument("--cache-dir", metavar="DIR",
                       help="content-addressed result cache; repeated "
                            "runs reuse finished cells")
+    repp.add_argument("--sched-arg", action="append", metavar="KEY=VALUE",
+                      help="set a scheduler knob across the whole grid "
+                           "(repeatable; schedulers lacking a knob "
+                           "ignore it)")
+
+    tunep = sub.add_parser("tune",
+                           help="search scheduler knobs (offline tuning)")
+    tunep.add_argument("--app", action="append",
+                       choices=sorted(APP_REGISTRY), metavar="APP",
+                       help="application(s) to tune on (repeatable; "
+                            "default uts)")
+    tunep.add_argument("--scheduler", action="append", metavar="SCHED",
+                       help="scheduler(s) to tune (repeatable, "
+                            "case-insensitive; default DistWS)")
+    tunep.add_argument("--engine", default="random",
+                       choices=("grid", "random", "asha"))
+    tunep.add_argument("--budget", type=_positive_int, default=None,
+                       metavar="N",
+                       help="trial budget (configs for grid/random, "
+                            "total evaluations for asha)")
+    tunep.add_argument("--search-seed", type=int, default=0,
+                       help="seed for the random/asha samplers")
+    tunep.add_argument("--eta", type=_positive_int, default=2,
+                       help="asha promotion ratio (top 1/eta survive)")
+    tunep.add_argument("--knob", action="append", metavar="NAME",
+                       help="restrict the search to these knobs "
+                            "(repeatable; default: all)")
+    tunep.add_argument("--places", type=int, default=4)
+    tunep.add_argument("--workers", type=int, default=2)
+    tunep.add_argument("--seed", type=int, default=12345,
+                       help="application input seed")
+    tunep.add_argument("--seeds", type=_positive_int, default=2,
+                       metavar="N",
+                       help="scheduler seeds per trial (median taken)")
+    tunep.add_argument("--scale", default="test",
+                       choices=("bench", "test"))
+    tunep.add_argument("--top", type=_positive_int, default=12,
+                       help="ranked rows shown per cell")
+    tunep.add_argument("--parallel", type=_positive_int, default=1,
+                       metavar="N",
+                       help="shard trials over N processes")
+    tunep.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed result cache; repeated "
+                            "searches replay finished trials")
+    tunep.add_argument("--json", metavar="PATH",
+                       help="write the full report as JSON")
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "profile":
-        return _cmd_profile(args)
-    if args.command == "diff-stats":
-        return _cmd_diff_stats(args)
-    return _cmd_reproduce(args)
+    from repro.errors import ConfigError
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "diff-stats":
+            return _cmd_diff_stats(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
+        return _cmd_reproduce(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ connected clusters; the ablation benchmarks exercise that claim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import ConfigError
@@ -81,15 +82,27 @@ class ClusterSpec:
         This is the victim *order* a topology-aware stealer would use; the
         paper argues task selection matters more than this order on a fully
         connected cluster, where the order is arbitrary.
+
+        The order is memoised per ``(spec, src)`` — the spec is frozen,
+        so it can never change — because nearest-order stealers ask for
+        it on every distributed steal round; re-sorting all places there
+        put an ``O(P log P)`` step on the hot path.  A fresh list is
+        returned each call so callers may mutate their copy.
         """
         self._check_place(src)
-        others = [p for p in self.place_ids() if p != src]
-        others.sort(key=lambda p: (self.hop_distance(src, p), p))
-        return others
+        return list(_neighbour_order(self, src))
 
     def _check_place(self, p: int) -> None:
         if not (0 <= p < self.n_places):
             raise ConfigError(f"place {p} out of range 0..{self.n_places - 1}")
+
+
+@lru_cache(maxsize=None)
+def _neighbour_order(spec: ClusterSpec, src: int) -> Tuple[int, ...]:
+    """The sorted neighbour tuple, computed once per ``(spec, src)``."""
+    others = sorted((p for p in spec.place_ids() if p != src),
+                    key=lambda p: (spec.hop_distance(src, p), p))
+    return tuple(others)
 
 
 def paper_cluster(n_places: int = 16, workers_per_place: int = 8) -> ClusterSpec:

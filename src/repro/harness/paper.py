@@ -41,6 +41,7 @@ from repro.harness.experiment import CellResult
 from repro.harness.figures import bar_chart, grouped_bars, series_lines
 from repro.harness.parallel import CellRequest, run_cells
 from repro.harness.tables import render_table
+from repro.tune.space import accepted_kwargs
 
 #: The three schedulers of Tables II/III and Figs. 6/7.
 MAIN_SCHEDULERS = ("X10WS", "DistWS-NS", "DistWS")
@@ -66,12 +67,12 @@ def _ms(cycles: float) -> float:
 
 # ---------------------------------------------------------------------------
 def fig3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
-         scale: str = "bench") -> ExperimentOutput:
+         scale: str = "bench", sched_kwargs=None) -> ExperimentOutput:
     """Fig. 3: steals-to-task ratio (DistWS at 128 workers)."""
-    cells = run_cells([CellRequest.build(app, "DistWS", paper_cluster(),
-                                         sched_seeds=sched_seeds,
-                                         scale=scale)
-                       for app in apps])
+    cells = run_cells([CellRequest.build(
+        app, "DistWS", paper_cluster(), sched_seeds=sched_seeds,
+        scale=scale, sched_kwargs=accepted_kwargs("DistWS", sched_kwargs))
+        for app in apps])
     rows = []
     for app, cell in zip(apps, cells):
         stats = cell.runs[0].stats
@@ -90,13 +91,14 @@ def fig3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
 
 
 def fig4(apps: Sequence[str] = PAPER_APPS,
-         scale: str = "bench") -> ExperimentOutput:
+         scale: str = "bench", sched_kwargs=None) -> ExperimentOutput:
     """Fig. 4: sequential execution time per application."""
     one_worker = ClusterSpec(n_places=1, workers_per_place=1,
                              max_threads=2)
-    cells = run_cells([CellRequest.build(app, "X10WS", one_worker,
-                                         sched_seeds=(1,), scale=scale)
-                       for app in apps])
+    cells = run_cells([CellRequest.build(
+        app, "X10WS", one_worker, sched_seeds=(1,), scale=scale,
+        sched_kwargs=accepted_kwargs("X10WS", sched_kwargs))
+        for app in apps])
     rows = []
     for app, cell in zip(apps, cells):
         run = cell.runs[0]
@@ -111,7 +113,8 @@ def fig4(apps: Sequence[str] = PAPER_APPS,
 
 def fig5(apps: Sequence[str] = PAPER_APPS,
          worker_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
-         sched_seeds=(1, 2), scale: str = "bench") -> ExperimentOutput:
+         sched_seeds=(1, 2), scale: str = "bench",
+         sched_kwargs=None) -> ExperimentOutput:
     """Fig. 5: speedup vs worker count for X10WS and DistWS."""
     rows = []
     series: Dict[str, Dict[str, List[float]]] = {}
@@ -120,10 +123,10 @@ def fig5(apps: Sequence[str] = PAPER_APPS,
             for app in apps
             for spec in specs
             for sched in ("X10WS", "DistWS")]
-    cells = run_cells([CellRequest.build(app, sched, spec,
-                                         sched_seeds=sched_seeds,
-                                         scale=scale)
-                       for app, spec, sched in grid])
+    cells = run_cells([CellRequest.build(
+        app, sched, spec, sched_seeds=sched_seeds, scale=scale,
+        sched_kwargs=accepted_kwargs(sched, sched_kwargs))
+        for app, spec, sched in grid])
     for app in apps:
         series[app] = {"X10WS": [], "DistWS": []}
     for (app, spec, sched), cell in zip(grid, cells):
@@ -143,11 +146,12 @@ def fig5(apps: Sequence[str] = PAPER_APPS,
 
 
 def table1(apps: Sequence[str] = PAPER_APPS,
-           scale: str = "bench") -> ExperimentOutput:
+           scale: str = "bench", sched_kwargs=None) -> ExperimentOutput:
     """Table I: mean task granularities (ms)."""
-    cells = run_cells([CellRequest.build(app, "DistWS", paper_cluster(),
-                                         sched_seeds=(1,), scale=scale)
-                       for app in apps])
+    cells = run_cells([CellRequest.build(
+        app, "DistWS", paper_cluster(), sched_seeds=(1,), scale=scale,
+        sched_kwargs=accepted_kwargs("DistWS", sched_kwargs))
+        for app in apps])
     rows = []
     for app, cell in zip(apps, cells):
         stats = cell.runs[0].stats
@@ -158,21 +162,22 @@ def table1(apps: Sequence[str] = PAPER_APPS,
                             rendered)
 
 
-def _three_scheduler_matrix(apps, sched_seeds, scale):
+def _three_scheduler_matrix(apps, sched_seeds, scale, sched_kwargs=None):
     grid = [(app, sched) for app in apps for sched in MAIN_SCHEDULERS]
-    results = run_cells([CellRequest.build(app, sched, paper_cluster(),
-                                           sched_seeds=sched_seeds,
-                                           scale=scale)
-                         for app, sched in grid])
+    results = run_cells([CellRequest.build(
+        app, sched, paper_cluster(), sched_seeds=sched_seeds, scale=scale,
+        sched_kwargs=accepted_kwargs(sched, sched_kwargs))
+        for app, sched in grid])
     cells: Dict[tuple, CellResult] = dict(zip(grid, results))
     return cells
 
 
 def table2(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
-           scale: str = "bench",
-           cells: Optional[dict] = None) -> ExperimentOutput:
+           scale: str = "bench", cells: Optional[dict] = None,
+           sched_kwargs=None) -> ExperimentOutput:
     """Table II: L1 data-cache miss rates (%) at 128 workers."""
-    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale)
+    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale,
+                                             sched_kwargs)
     rows = []
     for app in apps:
         rows.append([app] + [
@@ -185,10 +190,11 @@ def table2(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
 
 
 def table3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
-           scale: str = "bench",
-           cells: Optional[dict] = None) -> ExperimentOutput:
+           scale: str = "bench", cells: Optional[dict] = None,
+           sched_kwargs=None) -> ExperimentOutput:
     """Table III: messages transmitted across nodes at 128 workers."""
-    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale)
+    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale,
+                                             sched_kwargs)
     rows = []
     for app in apps:
         rows.append([app] + [
@@ -201,10 +207,11 @@ def table3(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
 
 
 def fig6(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1, 2),
-         scale: str = "bench",
-         cells: Optional[dict] = None) -> ExperimentOutput:
+         scale: str = "bench", cells: Optional[dict] = None,
+         sched_kwargs=None) -> ExperimentOutput:
     """Fig. 6: speedups of the three schedulers at 128 workers."""
-    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale)
+    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale,
+                                             sched_kwargs)
     rows = []
     series = {s: [] for s in MAIN_SCHEDULERS}
     for app in apps:
@@ -219,10 +226,11 @@ def fig6(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1, 2),
 
 
 def fig7(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
-         scale: str = "bench",
-         cells: Optional[dict] = None) -> ExperimentOutput:
+         scale: str = "bench", cells: Optional[dict] = None,
+         sched_kwargs=None) -> ExperimentOutput:
     """Fig. 7: per-node CPU utilization under the three schedulers."""
-    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale)
+    cells = cells or _three_scheduler_matrix(apps, sched_seeds, scale,
+                                             sched_kwargs)
     rows = []
     blocks = []
     for app in apps:
@@ -245,11 +253,12 @@ def fig7(apps: Sequence[str] = PAPER_APPS, sched_seeds=(1,),
 
 def chunk_study(chunks: Sequence[int] = (1, 2, 4, 8),
                 app: str = "turing", sched_seeds=(1, 2),
-                scale: str = "bench") -> ExperimentOutput:
+                scale: str = "bench", sched_kwargs=None) -> ExperimentOutput:
     """§VIII.2a: how the distributed steal chunk size affects makespan."""
+    base = accepted_kwargs("DistWS", sched_kwargs) or {}
     cells = run_cells([CellRequest.build(
         app, "DistWS", paper_cluster(), sched_seeds=sched_seeds,
-        scale=scale, sched_kwargs={"remote_chunk_size": c})
+        scale=scale, sched_kwargs={**base, "remote_chunk_size": c})
         for c in chunks])
     rows = [[c, cell.mean_makespan_ms, cell.mean_speedup]
             for c, cell in zip(chunks, cells)]
@@ -260,8 +269,8 @@ def chunk_study(chunks: Sequence[int] = (1, 2, 4, 8),
                             rows, rendered)
 
 
-def granularity_study(sched_seeds=(1,),
-                      scale: str = "bench") -> ExperimentOutput:
+def granularity_study(sched_seeds=(1,), scale: str = "bench",
+                      sched_kwargs=None) -> ExperimentOutput:
     """§VIII.2b: DistWS vs X10WS on the five fine-grained micro apps.
 
     The paper: "The DistWS algorithm performed worse on these smaller
@@ -269,10 +278,10 @@ def granularity_study(sched_seeds=(1,),
     """
     grid = [(cls, sched) for cls in MICRO_APPS
             for sched in ("X10WS", "DistWS")]
-    cells = run_cells([CellRequest.build(cls.name, sched, paper_cluster(),
-                                         sched_seeds=sched_seeds,
-                                         scale=scale)
-                       for cls, sched in grid])
+    cells = run_cells([CellRequest.build(
+        cls.name, sched, paper_cluster(), sched_seeds=sched_seeds,
+        scale=scale, sched_kwargs=accepted_kwargs(sched, sched_kwargs))
+        for cls, sched in grid])
     per_app = {}
     for (cls, sched), cell in zip(grid, cells):
         per_app.setdefault(cls, {})[sched] = cell.mean_makespan_ms
@@ -292,13 +301,14 @@ def granularity_study(sched_seeds=(1,),
         rows, rendered)
 
 
-def uts_study(sched_seeds=(1, 2), scale: str = "bench") -> ExperimentOutput:
+def uts_study(sched_seeds=(1, 2), scale: str = "bench",
+              sched_kwargs=None) -> ExperimentOutput:
     """§X: UTS under DistWS vs randomized stealing vs lifelines."""
     schedulers = ("RandomWS", "DistWS", "Lifeline")
-    cells = run_cells([CellRequest.build("uts", sched, paper_cluster(),
-                                         sched_seeds=sched_seeds,
-                                         scale=scale)
-                       for sched in schedulers])
+    cells = run_cells([CellRequest.build(
+        "uts", sched, paper_cluster(), sched_seeds=sched_seeds,
+        scale=scale, sched_kwargs=accepted_kwargs(sched, sched_kwargs))
+        for sched in schedulers])
     rows = [[sched, cell.mean_makespan_ms, cell.mean_speedup]
             for sched, cell in zip(schedulers, cells)]
     base = rows[0][1]

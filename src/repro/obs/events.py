@@ -51,6 +51,11 @@ Sampled state (emitted by the bus's own sampler, when enabled):
     ``sample``       — per-place queue depths and the place's number of
                        outstanding (unresolved) distributed steal
                        requests at the sample instant.
+
+Online tuning (``repro.tune.controllers``):
+    ``knob_update``  — a feedback controller changed a scheduler knob
+                       (``place`` is -1 for cluster-wide knobs like the
+                       remote chunk size).
 """
 
 from __future__ import annotations
@@ -76,6 +81,7 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "worker_park": ("place", "worker", "backoff"),
     "fault": ("what", "place", "detail"),
     "sample": ("place", "private", "shared", "mailbox", "outstanding"),
+    "knob_update": ("name", "place", "value"),
 }
 
 

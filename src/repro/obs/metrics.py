@@ -169,6 +169,13 @@ class MetricsRegistry(Sink):
             self._record_series(f"p{p}.mailbox", ev.t, f["mailbox"])
             self._record_series(f"p{p}.outstanding_steals", ev.t,
                                 f["outstanding"])
+        elif kind == "knob_update":
+            # Online-controller adjustments (repro.tune): one series per
+            # knob (suffixed with the place for per-place knobs).
+            p = f["place"]
+            suffix = "" if p < 0 else f".p{p}"
+            self._record_series(f"knob.{f['name']}{suffix}", ev.t,
+                                f["value"])
 
     def _record_series(self, name: str, t: float, value: float) -> None:
         series = self.series.get(name)

@@ -43,6 +43,11 @@ class Place:
         self.active = True
         #: Consecutive failed steal attempts by this place's workers.
         self.failed_steals = 0
+        #: Failed-round count after which the place goes inactive.
+        #: ``None`` (the default) keeps the paper's rule — one failure
+        #: per worker; schedulers and online controllers may pin it
+        #: (``idle_threshold`` tuning knob).
+        self.idle_threshold: Optional[int] = None
         #: Round-robin cursor for mapping tasks onto private deques.
         self._rr_cursor = 0
         #: Idle workers parked waiting for work to arrive at this place.
@@ -91,11 +96,18 @@ class Place:
         self.active = True
         self.failed_steals = 0
 
+    def idle_round_threshold(self) -> int:
+        """Failed rounds before this place advertises inactive."""
+        if self.idle_threshold is not None:
+            return max(1, self.idle_threshold)
+        return max(1, self.n_workers)
+
     def note_failed_steal(self) -> None:
-        """A local worker failed a steal round; after ``n_workers``
-        consecutive failures the place is marked inactive."""
+        """A local worker failed a steal round; after
+        :meth:`idle_round_threshold` consecutive failures the place is
+        marked inactive."""
         self.failed_steals += 1
-        if self.failed_steals >= max(1, self.n_workers):
+        if self.failed_steals >= self.idle_round_threshold():
             self.active = False
 
     # -- idle-worker wakeup -----------------------------------------------------

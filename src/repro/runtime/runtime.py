@@ -48,6 +48,13 @@ class SimRuntime:
         self.rngs = RngStreams(seed)
         self.network = Network(spec, costs, env=self.env)
         self.memory = MemoryManager(self.network, costs)
+        #: Idle-backoff parameters workers consult each round.  They
+        #: default to the cost model's values; scheduler knobs
+        #: (``idle_backoff_base`` / ``idle_backoff_cap``) override them
+        #: at bind time.  Set before the places so the workers created
+        #: inside them can read the base.
+        self.idle_backoff_base = costs.idle_backoff
+        self.idle_backoff_cap = costs.max_idle_backoff
         self.places = [Place(self.env, p, spec) for p in spec.place_ids()]
         for place in self.places:
             place.workers = [Worker(self, place, w)

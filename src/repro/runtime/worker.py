@@ -57,7 +57,11 @@ class Worker:
         self.task_cycles = 0.0
         self.overhead_cycles = 0.0
         self.tasks_run = 0
-        self._backoff = runtime.costs.idle_backoff
+        self._backoff = runtime.idle_backoff_base
+
+    def reset_backoff(self) -> None:
+        """Re-arm the idle backoff at the runtime's (possibly tuned) base."""
+        self._backoff = self.runtime.idle_backoff_base
 
     @property
     def wid(self) -> tuple[int, int]:
@@ -102,11 +106,12 @@ class Worker:
             if task is None:
                 task = yield from rt.scheduler.find_work(self)
             if task is not None:
-                self._backoff = costs.idle_backoff
+                self._backoff = rt.idle_backoff_base
                 yield from self.execute(task)
                 continue
             # Nothing anywhere: failed round, then back off.
             self.place.note_failed_steal()
+            rt.scheduler.note_failed_round(self)
             rt.stats.steals.failed_rounds += 1
             if rt.obs is not None:
                 rt.obs.emit("worker_park", place=self.place.place_id,
@@ -119,11 +124,11 @@ class Worker:
                 env.timeout(self._backoff),
                 *rt.scheduler.park_events(self),
             ])
-            self._backoff = min(self._backoff * 2, costs.max_idle_backoff)
+            self._backoff = min(self._backoff * 2, rt.idle_backoff_cap)
             woke_on = yield wake
             if woke_on is work_ev:
                 # Work arrived at this place: search eagerly again.
-                self._backoff = costs.idle_backoff
+                self._backoff = rt.idle_backoff_base
 
     # -- execution -------------------------------------------------------------
     def execute(self, task: Task) -> Generator[Event, object, None]:

@@ -42,8 +42,8 @@ class AdaptiveDistWS(DistWS):
 
     def __init__(self, min_work: float = 400_000.0,
                  max_bytes_per_kcycle: float = 600.0,
-                 remote_chunk_size: int = 2) -> None:
-        super().__init__(remote_chunk_size=remote_chunk_size)
+                 remote_chunk_size: int = 2, **knobs) -> None:
+        super().__init__(remote_chunk_size=remote_chunk_size, **knobs)
         #: Minimum declared work (cycles) to consider a task stealable.
         self.min_work = min_work
         #: Transfer-economy bound: footprint bytes per 1000 work cycles.
@@ -73,8 +73,7 @@ class AdaptiveDistWS(DistWS):
         # The runtime decided this task travels well: ship its data with
         # the closure if it is ever stolen.
         task.encapsulates = True
-        if (not place.active) or place.spares() > 0 \
-                or place.is_under_utilized():
+        if self._keep_local(place):
             place.pick_private_deque().push(task)
         else:
             self._push_shared(task)
@@ -86,7 +85,6 @@ class AdaptiveDistWS(DistWS):
         if not self.classify_flexible(task):
             return base + costs.private_deque_op
         place = rt.places[task.home_place]
-        if (not place.active) or place.spares() > 0 \
-                or place.is_under_utilized():
+        if self._keep_local(place):
             return base + costs.private_deque_op
         return base + costs.shared_deque_op

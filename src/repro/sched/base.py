@@ -48,7 +48,24 @@ class Scheduler(ABC):
     #: (with exponential backoff) before the victim is blacklisted.
     steal_max_retries: int = 2
 
-    def __init__(self) -> None:
+    def __init__(self, remote_chunk_size: Optional[int] = None,
+                 idle_threshold: Optional[int] = None,
+                 idle_backoff_base: Optional[float] = None,
+                 idle_backoff_cap: Optional[float] = None,
+                 controller=None) -> None:
+        if remote_chunk_size is not None:
+            self.remote_chunk_size = int(remote_chunk_size)
+        #: Tunable overrides (``repro.tune`` knobs); ``None`` keeps each
+        #: runtime-derived default — one failed round per worker for the
+        #: idle threshold, the cost model's idle backoff base/cap — so a
+        #: knob-less construction is byte-identical to the paper's rules.
+        self.idle_threshold = idle_threshold
+        self.idle_backoff_base = idle_backoff_base
+        self.idle_backoff_cap = idle_backoff_cap
+        #: Optional online feedback controller
+        #: (:mod:`repro.tune.controllers`); ``None`` (the default) means
+        #: no hook ever fires.
+        self.controller = controller
         self.rt: Optional["SimRuntime"] = None
         #: victim place id -> simulated time its blacklist entry expires.
         self._victim_blacklist: dict[int, float] = {}
@@ -61,6 +78,30 @@ class Scheduler(ABC):
         self.rt = runtime
         self._victim_blacklist = {}
         self._victim_strikes = {}
+        if self.idle_threshold is not None:
+            for place in runtime.places:
+                place.idle_threshold = self.idle_threshold
+        if self.idle_backoff_base is not None:
+            runtime.idle_backoff_base = float(self.idle_backoff_base)
+            for place in runtime.places:
+                for w in place.workers:
+                    w.reset_backoff()
+        if self.idle_backoff_cap is not None:
+            runtime.idle_backoff_cap = float(self.idle_backoff_cap)
+        if self.controller is not None:
+            self.controller.bind(runtime, self)
+
+    # -- online-controller hooks -------------------------------------------
+    def note_failed_round(self, worker: "Worker") -> None:
+        """A worker's whole steal round came up empty (called by the
+        worker loop, after the place's failed-steal bookkeeping)."""
+        if self.controller is not None:
+            self.controller.on_failed_round(worker)
+
+    def _note_steal_result(self, worker: "Worker", hit: bool,
+                           latency: float, tasks: int) -> None:
+        if self.controller is not None:
+            self.controller.on_steal_result(worker, hit, latency, tasks)
 
     def _bound_runtime(self) -> "SimRuntime":
         """The bound runtime, or a clear error before :meth:`bind`."""
@@ -273,6 +314,8 @@ class Scheduler(ABC):
             if obs is not None:
                 obs.emit("steal_miss", place=home.place_id,
                          worker=worker.worker_index, victim=pj)
+            self._note_steal_result(worker, False,
+                                    env.now - request_time, 0)
             return None
         task = yield from self._ship_chunk_home(worker, pj, chunk,
                                                 request_time=request_time)
@@ -306,6 +349,10 @@ class Scheduler(ABC):
                 if obs is not None and request_time is not None:
                     obs.emit("steal_miss", place=home.place_id,
                              worker=worker.worker_index, victim=pj)
+                self._note_steal_result(
+                    worker, False,
+                    env.now - request_time if request_time is not None
+                    else 0.0, 0)
                 return None
             st.remote_attempts += 1
             if request_time is None:
@@ -327,6 +374,8 @@ class Scheduler(ABC):
                 if obs is not None:
                     obs.emit("steal_miss", place=home.place_id,
                              worker=worker.worker_index, victim=pj)
+                self._note_steal_result(worker, False,
+                                        env.now - request_time, 0)
                 return None
             retries += 1
             fstats.steal_retries += 1
@@ -358,6 +407,8 @@ class Scheduler(ABC):
             if obs is not None:
                 obs.emit("steal_miss", place=home.place_id,
                          worker=worker.worker_index, victim=pj)
+            self._note_steal_result(worker, False,
+                                    env.now - request_time, 0)
             return None
         self._note_steal_success(pj)
         task = yield from self._ship_chunk_home(worker, pj, chunk,
@@ -400,11 +451,12 @@ class Scheduler(ABC):
         yield env.timeout(delay)
         worker.pending_chunk = []
         obs = rt.obs
+        t0 = request_time if request_time is not None else env.now
         if obs is not None:
-            t0 = request_time if request_time is not None else env.now
             obs.emit("chunk_arrive", place=home.place_id,
                      worker=worker.worker_index, victim=pj,
                      tasks=len(chunk), latency=env.now - t0)
+        self._note_steal_result(worker, True, env.now - t0, len(chunk))
         first, rest = chunk[0], chunk[1:]
         for t in rest:
             home.mailbox.put(t)

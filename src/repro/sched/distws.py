@@ -24,12 +24,13 @@ thieves only ever touch shared deques.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.runtime.task import Task
 from repro.sched.base import FindWork, Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.place import Place
     from repro.runtime.worker import Worker
 
 
@@ -42,9 +43,10 @@ class DistWS(Scheduler):
 
     def __init__(self, remote_chunk_size: int = 2,
                  shared_fifo: bool = True,
-                 victim_order: str = "random") -> None:
-        super().__init__()
-        self.remote_chunk_size = remote_chunk_size
+                 victim_order: str = "random",
+                 underutil_threshold: Optional[int] = None,
+                 **knobs) -> None:
+        super().__init__(remote_chunk_size=remote_chunk_size, **knobs)
         #: Ablation knob: ``False`` makes steals take the *newest* shared
         #: task instead of the oldest (benchmarks/test_ablation_deques).
         self.shared_fifo = shared_fifo
@@ -56,6 +58,18 @@ class DistWS(Scheduler):
         if victim_order not in ("random", "nearest"):
             raise ValueError(f"unknown victim_order {victim_order!r}")
         self.victim_order = victim_order
+        #: Shared-deque admission knob: a flexible task stays on a
+        #: private deque while ``size(p)`` is below this; ``None`` keeps
+        #: the paper's rule (``size(p) < max_threads``).
+        self.underutil_threshold = underutil_threshold
+
+    def _keep_local(self, place: "Place") -> bool:
+        """Algorithm 1's keep-it-local predicate, with a tunable bound."""
+        if (not place.active) or place.spares() > 0:
+            return True
+        if self.underutil_threshold is not None:
+            return place.size() < self.underutil_threshold
+        return place.is_under_utilized()
 
     # -- mapping (Algorithm 1 lines 1-8) ------------------------------------
     def map_task(self, task: Task, from_worker=None) -> None:
@@ -63,7 +77,7 @@ class DistWS(Scheduler):
         if not task.is_flexible:
             self._push_private(task, from_worker)
             return
-        if (not place.active) or place.spares() > 0 or place.is_under_utilized():
+        if self._keep_local(place):
             # Idle/under-utilized place: keep the flexible task local to
             # prioritize the place's own cores (§V-B1 benefit i/ii).
             # pick_private_deque prefers an *idle* worker, eliminating the
@@ -86,7 +100,7 @@ class DistWS(Scheduler):
         # deque operation.
         place = rt.places[task.home_place]
         base = costs.locality_mapping_overhead
-        if (not place.active) or place.spares() > 0 or place.is_under_utilized():
+        if self._keep_local(place):
             return base + costs.private_deque_op
         return base + costs.shared_deque_op
 

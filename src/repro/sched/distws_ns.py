@@ -32,8 +32,8 @@ class DistWSNS(Scheduler):
     #: By design: any task — sensitive included — may travel.
     enforces_locality = False
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, **knobs) -> None:
+        super().__init__(**knobs)
         self._rr: Dict[int, int] = {}
 
     def map_task(self, task: Task, from_worker=None) -> None:

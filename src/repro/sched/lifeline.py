@@ -57,8 +57,8 @@ class LifelineWS(DistWS):
     #: Random phase is blind; lifelines are the repair mechanism (§X).
     uses_status_board = False
 
-    def __init__(self, attempts_per_round: int = 2) -> None:
-        super().__init__(remote_chunk_size=1)
+    def __init__(self, attempts_per_round: int = 2, **knobs) -> None:
+        super().__init__(remote_chunk_size=1, **knobs)
         self.attempts_per_round = attempts_per_round
         #: place -> set of places that registered a lifeline *on* it and
         #: are waiting for a push.

@@ -32,8 +32,8 @@ class RandomWS(DistWS):
     #: Blind random victim selection — the point of the §X comparison.
     uses_status_board = False
 
-    def __init__(self, attempts_per_round: int = 2) -> None:
-        super().__init__(remote_chunk_size=1)
+    def __init__(self, attempts_per_round: int = 2, **knobs) -> None:
+        super().__init__(remote_chunk_size=1, **knobs)
         #: Random victims tried per failed round (lifeline papers use w=2).
         self.attempts_per_round = attempts_per_round
 

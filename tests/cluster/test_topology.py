@@ -71,6 +71,59 @@ class TestClusterSpec:
         assert spec.hop_distance(src, dst) <= n // 2
 
 
+class TestNeighbourMemoisation:
+    """The neighbour order is computed once per (spec, src).
+
+    Nearest-order stealers ask for it on every distributed steal round;
+    re-sorting all places there put an O(P log P) step with O(P)
+    ``hop_distance`` calls on the hot path.
+    """
+
+    def test_repeat_calls_do_not_recompute(self, monkeypatch):
+        # A unique spec shape so earlier tests can't have warmed the cache.
+        spec = ClusterSpec(n_places=23, workers_per_place=1, max_threads=1,
+                           topology="ring")
+        calls = []
+        real = ClusterSpec.hop_distance
+
+        def counting(self, src, dst):
+            calls.append((src, dst))
+            return real(self, src, dst)
+
+        monkeypatch.setattr(ClusterSpec, "hop_distance", counting)
+        first = spec.neighbours_by_distance(7)
+        assert calls, "first call must compute the order"
+        calls.clear()
+        for _ in range(100):
+            assert spec.neighbours_by_distance(7) == first
+        assert calls == [], "memoised order must not re-derive distances"
+
+    def test_equal_specs_share_the_cache(self, monkeypatch):
+        a = ClusterSpec(n_places=29, workers_per_place=1, max_threads=1,
+                        topology="ring")
+        b = ClusterSpec(n_places=29, workers_per_place=1, max_threads=1,
+                        topology="ring")
+        first = a.neighbours_by_distance(3)
+        calls = []
+        real = ClusterSpec.hop_distance
+
+        def counting(self, src, dst):
+            calls.append((src, dst))
+            return real(self, src, dst)
+
+        monkeypatch.setattr(ClusterSpec, "hop_distance", counting)
+        # Frozen dataclasses hash by value: b hits a's cache entry.
+        assert b.neighbours_by_distance(3) == first
+        assert calls == []
+
+    def test_returned_list_is_a_private_copy(self):
+        spec = ClusterSpec(n_places=8, workers_per_place=1, max_threads=1,
+                           topology="ring")
+        order = spec.neighbours_by_distance(0)
+        order.append(999)
+        assert 999 not in spec.neighbours_by_distance(0)
+
+
 class TestFactories:
     def test_paper_cluster_is_128_workers(self):
         spec = paper_cluster()

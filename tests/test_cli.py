@@ -135,7 +135,7 @@ class TestCliParallel:
 
         observed = {}
 
-        def fake(scale="bench"):
+        def fake(scale="bench", sched_kwargs=None):
             ctx = current_context()
             observed["parallel"] = ctx.parallel
             observed["cached"] = ctx.cache is not None
@@ -159,7 +159,7 @@ class TestCliParallel:
         from repro.cluster.topology import ClusterSpec
         from repro.harness import CellRequest, EXPERIMENTS, run_cells
 
-        def tiny(scale="bench"):
+        def tiny(scale="bench", sched_kwargs=None):
             cell = run_cells([CellRequest.build(
                 "uts", "DistWS",
                 ClusterSpec(n_places=2, workers_per_place=2,
@@ -183,3 +183,98 @@ class TestCliParallel:
     def test_reproduce_rejects_nonpositive_parallel(self, capsys):
         with pytest.raises(SystemExit):
             main(["reproduce", "fig6", "--parallel", "0"])
+
+
+class TestTuneCli:
+    def test_list_shows_knob_tables(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "knobs (set with --sched-arg key=value" in out
+        assert "remote_chunk_size" in out
+        assert "attempts_per_round" in out
+
+    def test_run_accepts_sched_args(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--sched-arg", "remote_chunk_size=4",
+                     "--sched-arg", "victim_order=nearest"])
+        assert code == 0
+        assert "tasks_executed" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_knob_without_traceback(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--sched-arg", "bogus=1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown knob 'bogus'" in err
+        assert "Traceback" not in err
+
+    def test_run_rejects_unparseable_value(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--sched-arg", "remote_chunk_size=lots"])
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_run_with_controller_prints_state(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--controller", "aimd-chunk"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online controller (aimd-chunk)" in out
+        assert "chunk" in out
+
+    def test_run_rejects_unknown_controller(self, capsys):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--controller", "pid"])
+        assert code == 2
+        assert "unknown controller" in capsys.readouterr().err
+
+    def test_reproduce_rejects_unknown_sched_arg(self, capsys):
+        code = main(["reproduce", "fig6", "--sched-arg", "bogus=1"])
+        assert code == 2
+        assert "unknown knob" in capsys.readouterr().err
+
+    def test_tune_grid_deterministic_and_cached(self, capsys, tmp_path):
+        argv = ["tune", "--app", "uts", "--scheduler", "distws",
+                "--engine", "grid", "--budget", "3",
+                "--knob", "remote_chunk_size",
+                "--places", "2", "--workers", "2", "--seeds", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(tmp_path / "report.json")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "tuning uts x DistWS" in cold
+        assert "default rank" in cold
+        assert "(default)" in cold
+        first = (tmp_path / "report.json").read_bytes()
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulations," in warm
+        # Byte-identical report across cold and warm runs.
+        assert (tmp_path / "report.json").read_bytes() == first
+        data = json.loads(first)
+        assert data["cells"][0]["scheduler"] == "DistWS"
+        assert data["cells"][0]["n_trials"] == 3
+
+    def test_tune_random_requires_budget(self, capsys):
+        code = main(["tune", "--app", "uts", "--engine", "random"])
+        assert code == 2
+        assert "needs --budget" in capsys.readouterr().err
+
+    def test_tune_rejects_unknown_scheduler(self, capsys):
+        code = main(["tune", "--app", "uts", "--scheduler", "TurboWS",
+                     "--engine", "grid", "--budget", "2"])
+        assert code == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_tune_rejects_unknown_knob(self, capsys):
+        code = main(["tune", "--app", "uts", "--engine", "grid",
+                     "--budget", "2", "--knob", "warp",
+                     "--places", "2", "--workers", "2"])
+        assert code == 2
+        assert "unknown knob" in capsys.readouterr().err

@@ -38,3 +38,11 @@ def test_trace_analysis_runs(tmp_path):
 
 def test_live_threads_runs():
     assert run_example("live_threads.py") == "ok"
+
+
+def test_tune_chunk_size_runs(capsys):
+    assert run_example("tune_chunk_size.py") == "ok"
+    out = capsys.readouterr().out
+    assert "tuning uts x DistWS" in out
+    assert "search winner: remote_chunk_size=2" in out
+    assert "rediscovered by search" in out

@@ -1,0 +1,58 @@
+"""Differential guard: ``controller=None`` runs are byte-identical.
+
+``tests/tune/golden_pre_tune_snapshots.json`` was captured from the tree
+*before* the tuning subsystem existed (same runs, same seeds).  These
+tests re-execute those runs on the current tree with every knob left at
+its default and no controller attached, and require the serialized
+``RunStats.snapshot()`` to match byte for byte — the knob plumbing and
+controller hooks must cost nothing and change nothing when unused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.apps import make_app
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import _reset_task_ids
+from repro.sched import make_scheduler
+
+GOLDEN = os.path.join(os.path.dirname(__file__),
+                      "golden_pre_tune_snapshots.json")
+
+
+def _snapshot_bytes(scheduler_name: str) -> str:
+    _reset_task_ids()
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    rt = SimRuntime(spec, make_scheduler(scheduler_name), seed=7)
+    app = make_app("uts", scale="test", seed=12345)
+    stats = app.run(rt)
+    return json.dumps(stats.snapshot(), sort_keys=True, indent=1)
+
+
+@pytest.mark.parametrize("scheduler", ["DistWS", "AdaptiveDistWS"])
+def test_default_run_matches_pre_tune_golden(scheduler):
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    expected = json.dumps(golden[scheduler], sort_keys=True, indent=1)
+    assert _snapshot_bytes(scheduler) == expected
+
+
+def test_explicit_default_knobs_match_golden_too():
+    """Spelling the defaults out changes nothing either."""
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    expected = json.dumps(golden["DistWS"], sort_keys=True, indent=1)
+    _reset_task_ids()
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4)
+    sched = make_scheduler("DistWS", remote_chunk_size=2,
+                           shared_fifo=True, victim_order="random")
+    rt = SimRuntime(spec, sched, seed=7)
+    app = make_app("uts", scale="test", seed=12345)
+    stats = app.run(rt)
+    got = json.dumps(stats.snapshot(), sort_keys=True, indent=1)
+    assert got == expected
