@@ -129,6 +129,35 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.harness import bench
+
+    # The full run also covers the quick cells so a committed report can
+    # gate CI's --quick smoke run against the same baseline file.
+    cells = bench.QUICK_GRID if args.quick \
+        else bench.DEFAULT_GRID + bench.QUICK_GRID
+    repeats = args.repeats if args.repeats is not None \
+        else (2 if args.quick else 3)
+    report = bench.run_grid(cells, repeats=repeats)
+    print(bench.render(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(bench.to_json(report))
+        print(f"\n[report written to {args.out}]")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        ok, lines = bench.compare(baseline, report,
+                                  max_regression_pct=args.max_regression)
+        print("\nbaseline comparison:")
+        print("\n".join(lines))
+        if not ok:
+            return 1
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.errors import ConfigError
     from repro.harness import execution
@@ -504,11 +533,33 @@ def main(argv=None) -> int:
     tunep.add_argument("--json", metavar="PATH",
                        help="write the full report as JSON")
 
+    benchp = sub.add_parser("bench",
+                            help="kernel performance benchmark "
+                                 "(wall-clock / events-per-sec grid)")
+    benchp.add_argument("--quick", action="store_true",
+                        help="small sub-second grid (CI smoke)")
+    benchp.add_argument("--repeats", type=_positive_int, default=None,
+                        metavar="N",
+                        help="timing repeats per cell "
+                             "(default: 3 full, 2 quick)")
+    benchp.add_argument("--out", metavar="PATH",
+                        help="write the JSON report here")
+    benchp.add_argument("--baseline", metavar="PATH",
+                        help="compare against a saved report "
+                             "(e.g. BENCH_kernel.json); exit 1 on "
+                             "regression or simulated-metric drift")
+    benchp.add_argument("--max-regression", type=float, default=20.0,
+                        metavar="PCT",
+                        help="allowed normalized wall-clock regression "
+                             "in percent (default 20)")
+
     args = parser.parse_args(argv)
     from repro.errors import ConfigError
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "trace":

@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.topology import ClusterSpec
 from repro.runtime.deques import PrivateDeque, SharedDeque
-from repro.sim.engine import Environment
+from repro.sim.engine import CAUSE_WORK, PARK_PARKED, Environment
 from repro.sim.resources import Mailbox
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,8 +50,13 @@ class Place:
         self.idle_threshold: Optional[int] = None
         #: Round-robin cursor for mapping tasks onto private deques.
         self._rr_cursor = 0
-        #: Idle workers parked waiting for work to arrive at this place.
+        #: Idle workers parked waiting for work to arrive at this place:
+        #: a mix of one-shot :class:`~repro.sim.events.Event` waiters (the
+        #: legacy API, kept for tests and tooling) and ``(ParkRecord,
+        #: round)`` entries appended by :meth:`add_park_waiter`.
         self._work_waiters: List = []
+        #: Compaction threshold for stale park entries (adaptive).
+        self._compact_at = 16
 
     # -- load status (Algorithm 1 inputs) ----------------------------------
     @property
@@ -118,12 +123,43 @@ class Place:
         self._work_waiters.append(ev)
         return ev
 
+    def add_park_waiter(self, record) -> None:
+        """Register a worker's park record for this round's work wakeup.
+
+        Appending ``(record, round)`` per park (rather than registering
+        persistently) keeps the wake order at notification time identical
+        to the legacy per-round events: simultaneously woken workers
+        resume in the order they parked.  Entries from earlier rounds are
+        stale — skipped at notify time, swept once the list outgrows the
+        live worker count.
+        """
+        waiters = self._work_waiters
+        waiters.append((record, record.round))
+        if len(waiters) > self._compact_at:
+            live = []
+            for entry in waiters:
+                if type(entry) is tuple:
+                    rec, rnd = entry
+                    if rec.round == rnd and rec.state == PARK_PARKED:
+                        live.append(entry)
+                elif not entry.triggered:
+                    live.append(entry)
+            self._work_waiters = live
+            self._compact_at = max(16, 2 * len(live) + 8)
+
     def notify_work(self) -> None:
         """Wake every parked worker (new work arrived at this place)."""
-        waiters, self._work_waiters = self._work_waiters, []
-        for ev in waiters:
-            if not ev.triggered:
-                ev.succeed()
+        waiters = self._work_waiters
+        if not waiters:
+            return
+        self._work_waiters = []
+        for entry in waiters:
+            if type(entry) is tuple:
+                rec, rnd = entry
+                if rec.round == rnd:
+                    rec._fire(CAUSE_WORK)
+            elif not entry.triggered:
+                entry.succeed()
 
     # -- private-deque mapping helpers ----------------------------------------
     def pick_private_deque(self) -> PrivateDeque:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Set
 
-from repro.sim.engine import Environment
+from repro.sim.engine import CAUSE_BOARD, PARK_PARKED, Environment
 from repro.sim.events import Event
 
 
@@ -32,17 +32,49 @@ class StatusBoard:
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._surplus: Set[int] = set()
-        self._waiters: List[Event] = []
+        #: One-shot :class:`Event` waiters (legacy API) mixed with
+        #: ``(ParkRecord, round)`` entries from parked workers.
+        self._waiters: List = []
+        self._compact_at = 16
 
     def advertise(self, place_id: int) -> None:
         """Mark a place as having surplus; wakes parked thieves."""
         if place_id in self._surplus:
             return
         self._surplus.add(place_id)
-        waiters, self._waiters = self._waiters, []
-        for ev in waiters:
-            if not ev.triggered:
-                ev.succeed(place_id)
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        for entry in waiters:
+            if type(entry) is tuple:
+                rec, rnd = entry
+                if rec.round == rnd:
+                    rec._fire(CAUSE_BOARD)
+            elif not entry.triggered:
+                entry.succeed(place_id)
+
+    def add_park_waiter(self, record) -> None:
+        """Register a park record for the next surplus advertisement.
+
+        Per-round ``(record, round)`` entries (see
+        :meth:`~repro.runtime.place.Place.add_park_waiter`) preserve the
+        legacy park-order wakeup; stale rounds are skipped and lazily
+        swept.
+        """
+        waiters = self._waiters
+        waiters.append((record, record.round))
+        if len(waiters) > self._compact_at:
+            live = []
+            for entry in waiters:
+                if type(entry) is tuple:
+                    rec, rnd = entry
+                    if rec.round == rnd and rec.state == PARK_PARKED:
+                        live.append(entry)
+                elif not entry.triggered:
+                    live.append(entry)
+            self._waiters = live
+            self._compact_at = max(16, 2 * len(live) + 8)
 
     def retract(self, place_id: int) -> None:
         """Mark a place as having no surplus. Idempotent."""

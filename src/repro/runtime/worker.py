@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 from repro.cluster.cache import LruCache
 from repro.runtime.deques import PrivateDeque
 from repro.runtime.task import Task, TaskContext, TaskState
-from repro.sim.engine import Interrupt
+from repro.sim.engine import CAUSE_WORK, Interrupt, ParkRecord
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +58,14 @@ class Worker:
         self.overhead_cycles = 0.0
         self.tasks_run = 0
         self._backoff = runtime.idle_backoff_base
+        #: Steal-tier caches (scheduler-owned, lazily filled): the victim
+        #: RNG streams are keyed by this worker's id and the peer/place
+        #: orders are structurally constant, so re-deriving them on every
+        #: steal attempt was pure overhead.
+        self.victims_rng = None
+        self.steal_peers: "list[Worker] | None" = None
+        self.place_victims_rng = None
+        self.other_places: list[int] | None = None
 
     def reset_backoff(self) -> None:
         """Re-arm the idle backoff at the runtime's (possibly tuned) base."""
@@ -97,36 +105,55 @@ class Worker:
         rt = self.runtime
         env = rt.env
         costs = rt.costs
-        while not rt.done_gate.is_open:
-            if self.place.dead:
+        place = self.place
+        gate = rt.done_gate
+        scheduler = rt.scheduler
+        steal_stats = rt.stats.steals
+        # Hot-loop locals: these lookups are loop-invariant, and the
+        # per-round deque-op stall is by far the most common sleep.
+        sleep = env.sleep
+        deque_pop = self.deque.pop
+        find_work = scheduler.find_work
+        deque_op = costs.private_deque_op
+        # One reusable park replaces the per-round AnyOf garbage; the
+        # board a parking worker watches is fixed per policy.
+        park = ParkRecord(env, self.proc)
+        board = scheduler.park_board()
+        gate_registered = False
+        while not gate.is_open:
+            if place.dead:
                 return
-            yield env.timeout(costs.private_deque_op)
-            self.charge_overhead(costs.private_deque_op)
-            task = self.deque.pop()
+            yield sleep(deque_op)
+            self.overhead_cycles += deque_op
+            task = deque_pop()
             if task is None:
-                task = yield from rt.scheduler.find_work(self)
+                task = yield from find_work(self)
             if task is not None:
                 self._backoff = rt.idle_backoff_base
                 yield from self.execute(task)
                 continue
             # Nothing anywhere: failed round, then back off.
-            self.place.note_failed_steal()
-            rt.scheduler.note_failed_round(self)
-            rt.stats.steals.failed_rounds += 1
+            place.note_failed_steal()
+            scheduler.note_failed_round(self)
+            steal_stats.failed_rounds += 1
             if rt.obs is not None:
-                rt.obs.emit("worker_park", place=self.place.place_id,
+                rt.obs.emit("worker_park", place=place.place_id,
                             worker=self.worker_index,
                             backoff=self._backoff)
-            work_ev = self.place.work_event()
-            wake = env.any_of([
-                rt.done_gate.wait(),
-                work_ev,
-                env.timeout(self._backoff),
-                *rt.scheduler.park_events(self),
-            ])
+            park.begin(self._backoff, gate.is_open)
+            if not gate_registered:
+                # The gate fires at most once (termination), so the park
+                # registers exactly once — no per-round waiter leak.
+                gate.register_park(park)
+                gate_registered = True
+            place.add_park_waiter(park)
+            if board is not None:
+                board.add_park_waiter(park)
+            # Backoff is read by the runtime's idle parameters live:
+            # online controllers may retune base/cap mid-run.
             self._backoff = min(self._backoff * 2, rt.idle_backoff_cap)
-            woke_on = yield wake
-            if woke_on is work_ev:
+            cause = yield park
+            if cause is CAUSE_WORK:
                 # Work arrived at this place: search eagerly again.
                 self._backoff = rt.idle_backoff_base
 
@@ -203,7 +230,7 @@ class Worker:
             if remote:
                 for block in task.copy_back:
                     cost += rt.memory.copy_back(block, place.place_id)
-            yield env.timeout(cost)
+            yield env.sleep(cost)
         finally:
             self.executing = False
             self.current_task = None
@@ -261,7 +288,7 @@ class Worker:
             for block in task.writes:
                 cost += rt.memory.access(place.place_id, self.cache, block,
                                          write=True)
-            yield env.timeout(cost)
+            yield env.sleep(cost)
             # ---- commit point: effects become visible atomically ----
             ctx = TaskContext(rt, task, place.place_id, self.worker_index)
             if task.body is not None:
@@ -277,7 +304,7 @@ class Worker:
             if remote:
                 for block in task.copy_back:
                     post += rt.memory.copy_back(block, place.place_id)
-            yield env.timeout(post)
+            yield env.sleep(post)
         finally:
             self.executing = False
             self.current_task = None

@@ -129,16 +129,16 @@ class Scheduler(ABC):
         place.shared.push(task)
         self.rt.board.advertise(place.place_id)
 
-    def park_events(self, worker: "Worker") -> list:
-        """Extra wake-up events for a worker about to park idle.
+    def park_board(self) -> "object | None":
+        """Status board a parking worker should watch, or ``None``.
 
-        Distributed policies that consult the status board return its
-        surplus event so a starving worker wakes as soon as any place
-        advertises stealable work.
+        Distributed policies that consult the status board register the
+        worker's park record with it so a starving worker wakes as soon
+        as any place advertises stealable work.
         """
         if self.distributed and self.uses_status_board:
-            return [self.rt.board.surplus_event()]
-        return []
+            return self.rt.board
+        return None
 
     #: Whether the policy consults the status board before sending steal
     #: requests (DistWS family: yes; blind random / lifeline: no).
@@ -188,8 +188,14 @@ class Scheduler(ABC):
         rt = self.rt
         env = rt.env
         st = rt.stats.steals
-        peers = [w for w in worker.place.workers if w is not worker]
-        order = rt.rngs.stream("victims", *worker.wid).permutation(len(peers))
+        peers = worker.steal_peers
+        if peers is None:
+            peers = worker.steal_peers = [
+                w for w in worker.place.workers if w is not worker]
+        rng = worker.victims_rng
+        if rng is None:
+            rng = worker.victims_rng = rt.rngs.stream("victims", *worker.wid)
+        order = rng.permutation(len(peers))
         obs = rt.obs
         for idx in order:
             victim = peers[int(idx)]
@@ -199,11 +205,11 @@ class Scheduler(ABC):
                          place=worker.place.place_id,
                          worker=worker.worker_index,
                          victim=victim.worker_index)
-            yield env.timeout(rt.costs.local_steal_attempt)
+            yield env.sleep(rt.costs.local_steal_attempt)
             worker.charge_overhead(rt.costs.local_steal_attempt)
             task = victim.deque.steal()
             if task is not None:
-                yield env.timeout(rt.costs.local_steal_success)
+                yield env.sleep(rt.costs.local_steal_success)
                 worker.charge_overhead(rt.costs.local_steal_success)
                 st.local_hits += 1
                 if obs is not None:
@@ -227,7 +233,7 @@ class Scheduler(ABC):
                         victim=worker.place.place_id)
         yield shared.lock.acquire()
         try:
-            yield env.timeout(rt.costs.shared_deque_op)
+            yield env.sleep(rt.costs.shared_deque_op)
             worker.charge_overhead(rt.costs.shared_deque_op)
             task = shared.take_oldest(remote=False)
             if len(shared) == 0:
@@ -295,12 +301,12 @@ class Scheduler(ABC):
             obs.emit("steal_request", place=home.place_id,
                      worker=worker.worker_index, victim=pj)
         # Request message travels to the victim...
-        yield env.timeout(rt.network.send(
+        yield env.sleep(rt.network.send(
             home.place_id, pj, 64, MSG_STEAL_REQUEST))
         # ...the thief locks the victim's shared deque remotely...
         yield victim.shared.lock.acquire()
         try:
-            yield env.timeout(costs.remote_steal_service)
+            yield env.sleep(costs.remote_steal_service)
             worker.charge_overhead(costs.remote_steal_service)
             chunk = victim.shared.take_chunk(
                 self.remote_chunk_size, remote=True)
@@ -309,7 +315,7 @@ class Scheduler(ABC):
         finally:
             victim.shared.lock.release()
         if not chunk:
-            yield env.timeout(rt.network.send(
+            yield env.sleep(rt.network.send(
                 pj, home.place_id, 64, MSG_STEAL_REPLY))
             if obs is not None:
                 obs.emit("steal_miss", place=home.place_id,
@@ -363,11 +369,11 @@ class Scheduler(ABC):
             latency, delivered = rt.network.send_unreliable(
                 home.place_id, pj, 64, MSG_STEAL_REQUEST)
             if delivered:
-                yield env.timeout(latency)
+                yield env.sleep(latency)
                 break
             # The request vanished (dropped en route, or the victim died
             # under it): wait out the timeout, then back off and retry.
-            yield env.timeout(costs.steal_timeout)
+            yield env.sleep(costs.steal_timeout)
             fstats.steal_timeouts += 1
             if retries >= self.steal_max_retries:
                 self._blacklist_victim(pj)
@@ -380,11 +386,11 @@ class Scheduler(ABC):
             retries += 1
             fstats.steal_retries += 1
             fstats.backoff_cycles += backoff
-            yield env.timeout(backoff)
+            yield env.sleep(backoff)
             backoff *= 2
         yield victim.shared.lock.acquire()
         try:
-            yield env.timeout(costs.remote_steal_service)
+            yield env.sleep(costs.remote_steal_service)
             worker.charge_overhead(costs.remote_steal_service)
             # A victim that crashed while the request was in flight has
             # had its deques drained; the chunk simply comes up empty.
@@ -398,11 +404,11 @@ class Scheduler(ABC):
             latency, delivered = rt.network.send_unreliable(
                 pj, home.place_id, 64, MSG_STEAL_REPLY)
             if delivered:
-                yield env.timeout(latency)
+                yield env.sleep(latency)
             else:
                 # The empty reply was lost; the thief learns nothing and
                 # pays the timeout before moving on.
-                yield env.timeout(costs.steal_timeout)
+                yield env.sleep(costs.steal_timeout)
                 fstats.steal_timeouts += 1
             if obs is not None:
                 obs.emit("steal_miss", place=home.place_id,
@@ -448,7 +454,7 @@ class Scheduler(ABC):
             worker.charge_overhead(costs.closure_create)
             delay += rt.network.send(
                 pj, home.place_id, t.closure_bytes, MSG_TASK_SHIP)
-        yield env.timeout(delay)
+        yield env.sleep(delay)
         worker.pending_chunk = []
         obs = rt.obs
         t0 = request_time if request_time is not None else env.now
@@ -499,10 +505,15 @@ class Scheduler(ABC):
     # -- victim orders ---------------------------------------------------------
     def _random_place_order(self, worker: "Worker") -> List[int]:
         """All other places in a per-worker random order."""
-        rt = self.rt
-        others = [p for p in range(rt.spec.n_places)
-                  if p != worker.place.place_id]
-        rng = rt.rngs.stream("place-victims", *worker.wid)
+        others = worker.other_places
+        if others is None:
+            others = worker.other_places = [
+                p for p in range(self.rt.spec.n_places)
+                if p != worker.place.place_id]
+        rng = worker.place_victims_rng
+        if rng is None:
+            rng = worker.place_victims_rng = self.rt.rngs.stream(
+                "place-victims", *worker.wid)
         return [others[int(i)] for i in rng.permutation(len(others))]
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -13,10 +13,10 @@ immediately.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.engine import Environment
+from repro.sim.engine import CAUSE_DONE, Environment
 from repro.sim.events import Event
 
 
@@ -31,6 +31,9 @@ class SimLock:
         finally:
             lock.release()
     """
+
+    __slots__ = ("env", "name", "_locked", "_waiters",
+                 "contended_acquires", "total_acquires")
 
     def __init__(self, env: Environment, name: str = "lock") -> None:
         self.env = env
@@ -49,8 +52,14 @@ class SimLock:
 
     @property
     def queue_length(self) -> int:
-        """Number of processes currently waiting for the lock."""
-        return len(self._waiters)
+        """Number of *live* processes currently waiting for the lock.
+
+        Waiters abandoned by an interrupted process (a crashed place's
+        thief) no longer represent demand: :meth:`release` will skip them,
+        so counting them would drift contention metrics upward after every
+        crash.
+        """
+        return sum(1 for ev in self._waiters if not ev._abandoned)
 
     def acquire(self) -> Event:
         """Return an event that triggers once the caller holds the lock."""
@@ -93,11 +102,15 @@ class SimLock:
 class Gate:
     """A level-triggered condition: closed until :meth:`open` is called."""
 
+    __slots__ = ("env", "name", "_open", "_waiters")
+
     def __init__(self, env: Environment, name: str = "gate") -> None:
         self.env = env
         self.name = name
         self._open = False
-        self._waiters: list[Event] = []
+        #: One-shot :class:`Event` waiters mixed with persistently
+        #: registered worker park records (see :meth:`register_park`).
+        self._waiters: List = []
 
     @property
     def is_open(self) -> bool:
@@ -113,14 +126,28 @@ class Gate:
             self._waiters.append(ev)
         return ev
 
+    def register_park(self, record) -> None:
+        """Register a worker's park record, once for its whole lifetime.
+
+        The gate fires at most once, so unlike the per-round waiter
+        events of old (one leaked :class:`Event` per failed round per
+        worker) a park record registers a single time; records that are
+        not parked when the gate opens are skipped by the park's own
+        state guard.
+        """
+        self._waiters.append(record)
+
     def open(self) -> None:
         """Open the gate, waking every waiter. Idempotent."""
         if self._open:
             return
         self._open = True
         waiters, self._waiters = self._waiters, []
-        for ev in waiters:
-            ev.succeed()
+        for entry in waiters:
+            if isinstance(entry, Event):
+                entry.succeed()
+            else:
+                entry._fire(CAUSE_DONE)
 
 
 class Mailbox:
@@ -130,6 +157,8 @@ class Mailbox:
     of Algorithm 1: remote places push task closures into the home place's
     mailbox and idle workers drain it.
     """
+
+    __slots__ = ("env", "name", "_items", "_getters")
 
     def __init__(self, env: Environment, name: str = "mailbox") -> None:
         self.env = env
@@ -141,11 +170,21 @@ class Mailbox:
         return len(self._items)
 
     def put(self, item) -> None:
-        """Deposit ``item``; wakes the oldest blocked getter if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Deposit ``item``; wakes the oldest *live* blocked getter if any.
+
+        Getters abandoned by an interrupted process (their place crashed
+        while they were blocked on :meth:`get`) are skipped, exactly as
+        :meth:`SimLock.release` skips dead lock waiters — delivering to a
+        dead process would silently lose the task.
+        """
+        getters = self._getters
+        while getters:
+            ev = getters.popleft()
+            if ev._abandoned:
+                continue
+            ev.succeed(item)
+            return
+        self._items.append(item)
 
     def try_get(self) -> Optional[object]:
         """Non-blocking take; ``None`` when empty."""
