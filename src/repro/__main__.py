@@ -11,6 +11,11 @@ Subcommands:
 - ``diff-stats`` — compare two saved snapshots, optionally failing on
   regression;
 - ``reproduce`` — regenerate paper artifacts (tables/figures) by name;
+- ``enqueue`` — seed a durable experiment store with a grid of cells;
+- ``workers`` — drain a store: claim cells under time-bounded leases,
+  heartbeat while simulating, commit results transactionally (any
+  number of processes on any number of machines; crash-resumable);
+- ``query`` — inspect a store's rows and longitudinal results;
 - ``list`` — what's available.
 """
 
@@ -191,8 +196,8 @@ def _cmd_tune(args) -> int:
             raise ConfigError("the asha engine needs --budget")
         engine = SuccessiveHalving(budget=args.budget,
                                    seed=args.search_seed, eta=args.eta)
-    with execution(parallel=args.parallel,
-                   cache_dir=args.cache_dir) as ctx:
+    with execution(parallel=args.parallel, cache_dir=args.cache_dir,
+                   store_path=args.store) as ctx:
         report = tune(cells, engine, knob_names=args.knob or None)
         print(report.rendered(top=args.top))
         if args.cache_dir:
@@ -319,14 +324,181 @@ def _cmd_reproduce(args) -> int:
             print(f"unknown artifact {name!r}; known: "
                   f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
             return 2
-    with execution(parallel=args.parallel,
-                   cache_dir=args.cache_dir) as ctx:
+    with execution(parallel=args.parallel, cache_dir=args.cache_dir,
+                   store_path=args.store) as ctx:
         code = _reproduce_artifacts(args, names)
         if args.cache_dir:
             print(f"\n[{ctx.simulations} simulations, "
                   f"{ctx.cache.hits} cache hits, "
                   f"{ctx.cache.stores} stored in {args.cache_dir}]")
+        if args.store:
+            counts = ctx.store.counts()
+            print(f"\n[store {args.store}: {ctx.simulations} cells "
+                  f"simulated here, {counts['done']} done total]")
     return code
+
+
+def _enqueue_grid(args):
+    """Expand the enqueue/workers grid options into RunSpecs."""
+    from repro.harness.parallel import CellRequest
+    from repro.tune import parse_sched_args_any
+
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers_per_place,
+                       max_threads=args.workers_per_place + 4)
+    sched_kwargs = parse_sched_args_any(args.sched_arg)
+    apps = args.app or ["uts", "quicksort", "dmg"]
+    schedulers = [_canon_scheduler(s)
+                  for s in (args.scheduler or ["DistWS", "X10WS",
+                                               "RandomWS"])]
+    seeds = tuple(range(1, args.seeds + 1))
+    specs = []
+    for app in apps:
+        for sched in schedulers:
+            request = CellRequest.build(
+                app, sched, spec, sched_seeds=seeds,
+                app_seed=args.app_seed, scale=args.scale,
+                sched_kwargs=sched_kwargs)
+            specs.extend(request.to_specs())
+    return specs
+
+
+def _store_counts_rows(counts) -> list:
+    return [[status, counts[status]] for status in
+            ("pending", "leased", "done", "failed")]
+
+
+def _cmd_enqueue(args) -> int:
+    from repro.harness.db import ExperimentStore
+
+    specs = _enqueue_grid(args)
+    with ExperimentStore(args.store) as store:
+        added = store.add_specs(specs)
+        counts = store.counts()
+    print(f"enqueued {added} new cell(s) ({len(specs) - added} already "
+          f"present) into {args.store}")
+    print(render_table(["status", "cells"], _store_counts_rows(counts),
+                       title="store state"))
+    print("\ndrain with: repro workers --store "
+          f"{args.store} --workers N  (any machine sharing the path)")
+    return 0
+
+
+def _cmd_workers(args) -> int:
+    import multiprocessing
+
+    from repro.harness.db import (
+        ExperimentStore,
+        drain,
+        graceful_signals,
+        run_worker,
+    )
+
+    bus = None
+    if args.events:
+        from repro.obs import EventBus, JsonlSink
+        bus = EventBus()
+        bus.subscribe(JsonlSink(path=args.events))
+        bus.attach_clock()
+    store = ExperimentStore(args.store, max_attempts=args.max_attempts,
+                            bus=bus)
+    helpers = []
+    mp = multiprocessing.get_context()
+    for _ in range(args.workers - 1):
+        proc = mp.Process(
+            target=run_worker, args=(args.store,),
+            kwargs={"heartbeat_seconds": args.heartbeat,
+                    "lease_seconds": args.lease,
+                    "poll_seconds": args.poll,
+                    "max_attempts": args.max_attempts})
+        proc.start()
+        helpers.append(proc)
+    completed = 0
+    code = 0
+    try:
+        try:
+            with graceful_signals():
+                completed = drain(store,
+                                  heartbeat_seconds=args.heartbeat,
+                                  lease_seconds=args.lease,
+                                  poll_seconds=args.poll)
+        except KeyboardInterrupt:
+            print("\ninterrupted: lease released; stopping workers "
+                  "(re-run `repro workers` to resume the sweep)",
+                  file=sys.stderr)
+            for proc in helpers:
+                proc.terminate()  # SIGTERM: children release leases too
+            code = 130
+    finally:
+        for proc in helpers:
+            proc.join()
+        counts = store.counts()
+        failed = store.rows(status="failed") if counts["failed"] else []
+        if bus is not None:
+            bus.close()
+        store.close()
+    print(render_table(["status", "cells"], _store_counts_rows(counts),
+                       title=f"store {args.store} "
+                            f"({completed} completed by this process)"))
+    if failed:
+        print("\nquarantined cells (exhausted max_attempts):")
+        for row in failed:
+            last = (row.error or "").strip().splitlines()
+            print(f"  {row.key[:12]} {row.payload.get('app')} x "
+                  f"{row.payload.get('scheduler')}: "
+                  f"{last[-1] if last else '?'}")
+        code = code or 1
+    if args.events:
+        print(f"[store events written to {args.events}]")
+    return code
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.harness.db import ExperimentStore
+
+    with ExperimentStore(args.store) as store:
+        rows = store.rows(status=args.status)
+        if args.app:
+            rows = [r for r in rows if r.payload.get("app") == args.app]
+        if args.scheduler:
+            want = _canon_scheduler(args.scheduler)
+            rows = [r for r in rows
+                    if r.payload.get("scheduler") == want]
+        table = []
+        payload_rows = []
+        for row in rows[:args.limit]:
+            p = row.payload
+            makespan_ms = speedup = None
+            if row.status == "done":
+                result = store.get_result(row.key)
+                if result is not None:
+                    makespan_ms = round(result.makespan_ms, 3)
+                    speedup = round(result.speedup, 2)
+            table.append([
+                row.key[:12], p.get("app"), p.get("scheduler"),
+                p.get("scale"), p.get("sched_seed"), row.status,
+                row.attempts,
+                "-" if makespan_ms is None else makespan_ms,
+                "-" if speedup is None else speedup])
+            payload_rows.append({
+                "key": row.key, "payload": p, "status": row.status,
+                "attempts": row.attempts, "error": row.error,
+                "makespan_ms": makespan_ms, "speedup": speedup})
+        counts = store.counts()
+    shown = len(table)
+    print(render_table(
+        ["key", "app", "scheduler", "scale", "seed", "status",
+         "attempts", "makespan (ms)", "speedup"], table,
+        title=f"{args.store}: {shown}/{len(rows)} row(s) shown"))
+    print(render_table(["status", "cells"], _store_counts_rows(counts),
+                       title="totals"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload_rows, fh, sort_keys=True, indent=1)
+        print(f"[written {args.json}]")
+    return 0
 
 
 def _reproduce_artifacts(args, names) -> int:
@@ -490,6 +662,74 @@ def main(argv=None) -> int:
                       help="set a scheduler knob across the whole grid "
                            "(repeatable; schedulers lacking a knob "
                            "ignore it)")
+    repp.add_argument("--store", metavar="PATH",
+                      help="route the grid through a durable experiment "
+                           "store (SQLite job queue): crash-resumable, "
+                           "drainable by `repro workers` on any machine")
+
+    enq = sub.add_parser("enqueue",
+                         help="seed a durable experiment store with a "
+                              "grid of cells (run nothing)")
+    enq.add_argument("--store", required=True, metavar="PATH",
+                     help="SQLite store file (created if missing)")
+    enq.add_argument("--app", action="append",
+                     choices=sorted(APP_REGISTRY), metavar="APP",
+                     help="application(s) (repeatable; default "
+                          "uts,quicksort,dmg)")
+    enq.add_argument("--scheduler", action="append", metavar="SCHED",
+                     help="scheduler(s) (repeatable, case-insensitive; "
+                          "default DistWS,X10WS,RandomWS)")
+    enq.add_argument("--places", type=int, default=8)
+    enq.add_argument("--workers", type=int, default=4,
+                     dest="workers_per_place",
+                     help="workers per place in the simulated cluster")
+    enq.add_argument("--seeds", type=_positive_int, default=3,
+                     help="scheduler seeds per cell")
+    enq.add_argument("--app-seed", type=int, default=12345)
+    enq.add_argument("--scale", default="test",
+                     choices=("bench", "test"))
+    enq.add_argument("--sched-arg", action="append",
+                     metavar="KEY=VALUE",
+                     help="set a scheduler knob across the grid "
+                          "(repeatable)")
+
+    wrk = sub.add_parser("workers",
+                         help="drain an experiment store: claim cells "
+                              "under leases, heartbeat, commit "
+                              "(crash-resumable)")
+    wrk.add_argument("--store", required=True, metavar="PATH")
+    wrk.add_argument("--workers", type=_positive_int, default=1,
+                     metavar="N",
+                     help="worker processes to run on this machine")
+    wrk.add_argument("--heartbeat", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="lease heartbeat period while simulating")
+    wrk.add_argument("--lease", type=float, default=None,
+                     metavar="SECONDS",
+                     help="lease duration (default 5x heartbeat); a "
+                          "lease that expires unheartbeaten is reaped")
+    wrk.add_argument("--poll", type=float, default=0.2,
+                     metavar="SECONDS",
+                     help="idle poll period when nothing is pending")
+    wrk.add_argument("--max-attempts", type=_positive_int, default=3,
+                     help="leases a cell may burn before quarantine")
+    wrk.add_argument("--events", metavar="PATH",
+                     help="stream store lifecycle events (lease / "
+                          "heartbeat_miss / reclaim / quarantine) as "
+                          "JSONL")
+
+    qry = sub.add_parser("query",
+                         help="inspect an experiment store's rows and "
+                              "longitudinal results")
+    qry.add_argument("--store", required=True, metavar="PATH")
+    qry.add_argument("--status",
+                     choices=("pending", "leased", "done", "failed"))
+    qry.add_argument("--app", choices=sorted(APP_REGISTRY))
+    qry.add_argument("--scheduler")
+    qry.add_argument("--limit", type=_positive_int, default=50,
+                     help="rows shown (totals always cover everything)")
+    qry.add_argument("--json", metavar="PATH",
+                     help="also dump the matching rows as JSON")
 
     tunep = sub.add_parser("tune",
                            help="search scheduler knobs (offline tuning)")
@@ -530,6 +770,9 @@ def main(argv=None) -> int:
     tunep.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed result cache; repeated "
                             "searches replay finished trials")
+    tunep.add_argument("--store", metavar="PATH",
+                       help="route trials through a durable experiment "
+                            "store (shared with `repro workers`)")
     tunep.add_argument("--json", metavar="PATH",
                        help="write the full report as JSON")
 
@@ -555,25 +798,38 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     from repro.errors import ConfigError
+    from repro.harness.db import graceful_signals
     try:
-        if args.command == "list":
-            return _cmd_list(args)
-        if args.command == "bench":
-            return _cmd_bench(args)
-        if args.command == "run":
-            return _cmd_run(args)
-        if args.command == "trace":
-            return _cmd_trace(args)
-        if args.command == "profile":
-            return _cmd_profile(args)
-        if args.command == "diff-stats":
-            return _cmd_diff_stats(args)
-        if args.command == "tune":
-            return _cmd_tune(args)
-        return _cmd_reproduce(args)
+        with graceful_signals():
+            if args.command == "list":
+                return _cmd_list(args)
+            if args.command == "bench":
+                return _cmd_bench(args)
+            if args.command == "run":
+                return _cmd_run(args)
+            if args.command == "trace":
+                return _cmd_trace(args)
+            if args.command == "profile":
+                return _cmd_profile(args)
+            if args.command == "diff-stats":
+                return _cmd_diff_stats(args)
+            if args.command == "tune":
+                return _cmd_tune(args)
+            if args.command == "enqueue":
+                return _cmd_enqueue(args)
+            if args.command == "workers":
+                return _cmd_workers(args)
+            if args.command == "query":
+                return _cmd_query(args)
+            return _cmd_reproduce(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Pools cancelled their queued futures and workers released
+        # their leases on the way out; exit with the interrupt code.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,648 @@
+"""Crash-resilient experiment store: a SQLite-backed multi-machine job queue.
+
+The paper's evaluation is a grid of independent deterministic cells, and
+million-cell parameter studies (schedulers x apps x cluster shapes x
+fault plans x tune trials) need the grid itself to survive the same
+failures the simulator injects: worker crashes, kills mid-write, and
+restarts.  Following the py_experimenter pattern — experiments as
+status-tracked rows in SQLite that independent workers pull, fill, and
+survive crashes on — this module is the *job-level* mirror of the PR-1
+task-level exactly-once ``TaskLedger``.
+
+Three layers:
+
+- :class:`ExperimentStore` — one WAL-mode SQLite file, one row per
+  :class:`~repro.harness.parallel.RunSpec` keyed by its SHA-256
+  ``cache_key()``.  Status machine ``pending -> leased -> done |
+  failed``; results are the same pickled ``RunResult`` payload the
+  :class:`~repro.harness.parallel.ResultCache` uses.  Every write is one
+  transaction, retried with exponential backoff on ``database is
+  locked`` so any number of processes on any number of machines can
+  share the file (or a network filesystem) safely.
+- **Leases + heartbeats** — :meth:`ExperimentStore.claim` atomically
+  moves one pending row to ``leased`` under a time-bounded lease;
+  :func:`drain` heartbeats the lease from a daemon thread while the
+  simulation runs.  A worker that is SIGKILLed mid-cell simply stops
+  heartbeating.
+- **Reaper + quarantine** — :meth:`ExperimentStore.reap` re-opens rows
+  whose lease expired without a heartbeat, bumping a per-row attempt
+  count; a row that has burned ``max_attempts`` leases (a *poison cell*
+  that crashes every worker that touches it) is quarantined as
+  ``failed`` with its captured traceback instead of wedging the queue.
+
+Exactly-once writes: :meth:`ExperimentStore.complete` is fenced by the
+lease owner — a worker that lost its lease to the reaper (and whose row
+may already be leased or done elsewhere) has its late result discarded,
+so ``done`` rows are written exactly once and never re-simulated by a
+restarted sweep.  Because cells are deterministic, either writer's
+result would carry identical simulated statistics; the fence keeps the
+bookkeeping (attempts, events) single-writer.
+
+Store lifecycle events (``store_lease``, ``store_heartbeat_miss``,
+``store_reclaim``, ``store_quarantine``) publish on the
+:class:`~repro.obs.bus.EventBus` when one is attached via ``bus=``
+(standalone mode: wall-clock timestamps, no runtime required).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import sqlite3
+import threading
+import time
+import traceback
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError, ReproError
+
+#: Row status machine.  ``pending`` and ``leased`` are *open*;
+#: ``done`` and ``failed`` are terminal.
+STATUSES = ("pending", "leased", "done", "failed")
+
+#: Bump when the experiments table layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS experiments (
+    key            TEXT PRIMARY KEY,
+    payload        TEXT NOT NULL,
+    spec           BLOB NOT NULL,
+    status         TEXT NOT NULL DEFAULT 'pending'
+                   CHECK (status IN ('pending','leased','done','failed')),
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    heartbeat_at   REAL,
+    result         BLOB,
+    error          TEXT,
+    created_at     REAL NOT NULL,
+    finished_at    REAL
+);
+CREATE INDEX IF NOT EXISTS experiments_status
+    ON experiments (status, created_at);
+"""
+
+
+class StoreError(ReproError):
+    """The experiment store reached an unrecoverable state."""
+
+
+class QuarantinedError(StoreError):
+    """A sweep contains quarantined (poison) cells; carries their errors."""
+
+    def __init__(self, failures: Dict[str, str]) -> None:
+        self.failures = dict(failures)
+        keys = ", ".join(k[:12] for k in sorted(failures))
+        first = next(iter(failures.values())) or ""
+        tail = first.strip().splitlines()[-1] if first.strip() else "?"
+        super().__init__(
+            f"{len(failures)} cell(s) quarantined after exhausting "
+            f"max_attempts [{keys}]; first error: {tail}")
+
+
+def _locked(exc: sqlite3.OperationalError) -> bool:
+    """Whether ``exc`` is SQLite's transient cross-process contention."""
+    msg = str(exc).lower()
+    return "locked" in msg or "busy" in msg
+
+
+def default_owner() -> str:
+    """A globally unique worker identity: host, pid, and a random tag."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class ClaimedRow:
+    """One leased row: the work a :func:`drain` iteration must do."""
+
+    key: str
+    spec: object  # the unpickled RunSpec
+    attempt: int  # 1-based attempt number this lease represents
+
+
+@dataclass(frozen=True)
+class StoreRow:
+    """Read-only row view for :meth:`ExperimentStore.rows` / ``repro query``."""
+
+    key: str
+    payload: Dict[str, object]
+    status: str
+    attempts: int
+    lease_owner: Optional[str]
+    error: Optional[str]
+    created_at: float
+    finished_at: Optional[float]
+
+
+class ExperimentStore:
+    """A durable, concurrently-drainable queue of experiment cells.
+
+    ``clock`` is injectable (tests drive lease expiry with a fake clock);
+    everything else defaults to production behaviour.  The connection is
+    shared across threads behind an internal mutex, so the heartbeat
+    thread of :func:`drain` can extend leases while the main thread
+    simulates.
+    """
+
+    def __init__(self, path: str, max_attempts: int = 3,
+                 clock: Callable[[], float] = time.time,
+                 bus=None, busy_retries: int = 8,
+                 busy_base_sleep: float = 0.05,
+                 timeout: float = 5.0) -> None:
+        if max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.path = path
+        self.max_attempts = max_attempts
+        self.clock = clock
+        self.bus = bus
+        self.busy_retries = busy_retries
+        self.busy_base_sleep = busy_base_sleep
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        # check_same_thread=False + self._lock: the drain heartbeat
+        # thread shares this connection with the claiming thread.
+        self._conn = sqlite3.connect(path, timeout=timeout,
+                                     check_same_thread=False,
+                                     isolation_level=None)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            # WAL survives kill -9 mid-commit (the journal replays or
+            # rolls back atomically) and lets readers run during writes.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(STORE_SCHEMA_VERSION)))
+        version = self._meta("schema_version")
+        if version != str(STORE_SCHEMA_VERSION):
+            raise StoreError(
+                f"store {path} has schema version {version}, this "
+                f"library expects {STORE_SCHEMA_VERSION}")
+
+    # -- plumbing ----------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row["value"]
+
+    def _txn(self, fn):
+        """Run ``fn(conn)`` in one IMMEDIATE transaction, retrying
+        ``database is locked`` with capped exponential backoff."""
+        delay = self.busy_base_sleep
+        for attempt in range(self.busy_retries + 1):
+            try:
+                with self._lock:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                    try:
+                        out = fn(self._conn)
+                    except BaseException:
+                        self._conn.execute("ROLLBACK")
+                        raise
+                    self._conn.execute("COMMIT")
+                    return out
+            except sqlite3.OperationalError as exc:
+                if not _locked(exc) or attempt == self.busy_retries:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.bus is not None:
+            self.bus.emit(kind, **fields)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- enqueue -----------------------------------------------------------
+    def add_specs(self, specs: Sequence[object]) -> int:
+        """Insert ``specs`` as pending rows; existing keys (including
+        finished ones) are left untouched.  Returns the number added."""
+        import json
+
+        rows = []
+        now = self.clock()
+        for spec in specs:
+            payload = json.dumps(spec.payload(), sort_keys=True,
+                                 separators=(",", ":"))
+            rows.append((spec.cache_key(), payload,
+                         pickle.dumps(spec,
+                                      protocol=pickle.HIGHEST_PROTOCOL),
+                         now))
+
+        def txn(conn) -> int:
+            added = 0
+            for row in rows:
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO experiments "
+                    "(key, payload, spec, status, created_at) "
+                    "VALUES (?, ?, ?, 'pending', ?)", row)
+                added += cur.rowcount
+            return added
+
+        return self._txn(txn)
+
+    # -- lease lifecycle ---------------------------------------------------
+    def claim(self, owner: str, lease_seconds: float) -> Optional[ClaimedRow]:
+        """Atomically lease the oldest pending row to ``owner``.
+
+        Returns ``None`` when nothing is pending (other rows may still
+        be leased elsewhere — check :meth:`open_count`).
+        """
+        now = self.clock()
+
+        def txn(conn):
+            row = conn.execute(
+                "SELECT key, spec, attempts FROM experiments "
+                "WHERE status = 'pending' "
+                "ORDER BY created_at, key LIMIT 1").fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE experiments SET status = 'leased', "
+                "lease_owner = ?, lease_deadline = ?, heartbeat_at = ?, "
+                "attempts = attempts + 1 WHERE key = ?",
+                (owner, now + lease_seconds, now, row["key"]))
+            return ClaimedRow(key=row["key"],
+                              spec=pickle.loads(row["spec"]),
+                              attempt=row["attempts"] + 1)
+
+        claimed = self._txn(txn)
+        if claimed is not None:
+            self._emit("store_lease", key=claimed.key, owner=owner,
+                       attempt=claimed.attempt)
+        return claimed
+
+    def heartbeat(self, key: str, owner: str,
+                  lease_seconds: float) -> bool:
+        """Extend ``owner``'s lease on ``key``.  ``False`` means the
+        lease was lost (reaped) — the worker should abandon the cell."""
+        now = self.clock()
+
+        def txn(conn) -> bool:
+            cur = conn.execute(
+                "UPDATE experiments SET lease_deadline = ?, "
+                "heartbeat_at = ? WHERE key = ? AND status = 'leased' "
+                "AND lease_owner = ?",
+                (now + lease_seconds, now, key, owner))
+            return cur.rowcount == 1
+
+        return self._txn(txn)
+
+    def complete(self, key: str, owner: str, result: object) -> bool:
+        """Transactionally store ``result`` and mark the row ``done``.
+
+        Fenced by the lease: a worker whose lease was reclaimed gets
+        ``False`` and its result is discarded (the row is someone
+        else's now), keeping ``done`` exactly-once.
+        """
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        now = self.clock()
+
+        def txn(conn) -> bool:
+            cur = conn.execute(
+                "UPDATE experiments SET status = 'done', result = ?, "
+                "error = NULL, lease_owner = NULL, lease_deadline = NULL, "
+                "finished_at = ? WHERE key = ? AND status = 'leased' "
+                "AND lease_owner = ?", (blob, now, key, owner))
+            return cur.rowcount == 1
+
+        return self._txn(txn)
+
+    def fail(self, key: str, owner: str, error: str) -> str:
+        """Record a worker-side crash of ``key`` (captured traceback).
+
+        Returns the row's new status: ``pending`` (will be retried),
+        ``failed`` (quarantined after ``max_attempts``), or ``lost``
+        (the lease had already been reclaimed; nothing recorded).
+        """
+        now = self.clock()
+
+        def txn(conn) -> str:
+            row = conn.execute(
+                "SELECT attempts FROM experiments WHERE key = ? "
+                "AND status = 'leased' AND lease_owner = ?",
+                (key, owner)).fetchone()
+            if row is None:
+                return "lost"
+            status = ("failed" if row["attempts"] >= self.max_attempts
+                      else "pending")
+            conn.execute(
+                "UPDATE experiments SET status = ?, error = ?, "
+                "lease_owner = NULL, lease_deadline = NULL, "
+                "finished_at = ? WHERE key = ?",
+                (status, error, now if status == "failed" else None, key))
+            return status
+
+        status = self._txn(txn)
+        if status == "failed":
+            self._emit("store_quarantine", key=key,
+                       attempts=self.max_attempts, error=_last_line(error))
+        return status
+
+    def release(self, key: str, owner: str) -> bool:
+        """Voluntarily return a leased row to ``pending`` (graceful
+        shutdown).  The attempt is refunded — an interrupt is not a
+        strike against the cell."""
+
+        def txn(conn) -> bool:
+            cur = conn.execute(
+                "UPDATE experiments SET status = 'pending', "
+                "lease_owner = NULL, lease_deadline = NULL, "
+                "attempts = MAX(attempts - 1, 0) "
+                "WHERE key = ? AND status = 'leased' AND lease_owner = ?",
+                (key, owner))
+            return cur.rowcount == 1
+
+        return self._txn(txn)
+
+    def reap(self, now: Optional[float] = None) -> List[str]:
+        """Reclaim every leased row whose lease expired without a
+        heartbeat (crashed / SIGKILLed worker).
+
+        Rows with attempts left go back to ``pending``; rows that have
+        burned ``max_attempts`` leases are quarantined as ``failed``.
+        Returns the reclaimed (re-opened) keys.
+        """
+        now = self.clock() if now is None else now
+
+        def txn(conn):
+            rows = conn.execute(
+                "SELECT key, lease_owner, lease_deadline, attempts "
+                "FROM experiments WHERE status = 'leased' "
+                "AND lease_deadline < ?", (now,)).fetchall()
+            reclaimed, quarantined, events = [], [], []
+            for row in rows:
+                overdue = now - row["lease_deadline"]
+                events.append(("store_heartbeat_miss",
+                               dict(key=row["key"],
+                                    owner=row["lease_owner"],
+                                    overdue=round(overdue, 3))))
+                if row["attempts"] >= self.max_attempts:
+                    error = (f"lease expired after attempt "
+                             f"{row['attempts']}/{self.max_attempts} "
+                             f"(owner {row['lease_owner']} presumed dead)")
+                    conn.execute(
+                        "UPDATE experiments SET status = 'failed', "
+                        "error = COALESCE(error, ?), lease_owner = NULL, "
+                        "lease_deadline = NULL, finished_at = ? "
+                        "WHERE key = ?", (error, now, row["key"]))
+                    quarantined.append(row["key"])
+                    events.append(("store_quarantine",
+                                   dict(key=row["key"],
+                                        attempts=row["attempts"],
+                                        error=error)))
+                else:
+                    conn.execute(
+                        "UPDATE experiments SET status = 'pending', "
+                        "lease_owner = NULL, lease_deadline = NULL "
+                        "WHERE key = ?", (row["key"],))
+                    reclaimed.append(row["key"])
+                    events.append(("store_reclaim",
+                                   dict(key=row["key"],
+                                        owner=row["lease_owner"],
+                                        attempt=row["attempts"])))
+            return reclaimed, events
+
+        reclaimed, events = self._txn(txn)
+        for kind, fields in events:
+            self._emit(kind, **fields)
+        return reclaimed
+
+    # -- reads -------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Row count per status (every status present, zeros included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM experiments "
+                "GROUP BY status").fetchall()
+        out = {status: 0 for status in STATUSES}
+        for row in rows:
+            out[row["status"]] = row["n"]
+        return out
+
+    def open_count(self) -> int:
+        """Rows still in flight (``pending`` + ``leased``)."""
+        counts = self.counts()
+        return counts["pending"] + counts["leased"]
+
+    def statuses(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Status per key, for the keys that exist in the store."""
+        out: Dict[str, str] = {}
+        keys = list(keys)
+        with self._lock:
+            for start in range(0, len(keys), 500):
+                chunk = keys[start:start + 500]
+                marks = ",".join("?" * len(chunk))
+                for row in self._conn.execute(
+                        f"SELECT key, status FROM experiments "
+                        f"WHERE key IN ({marks})", chunk):
+                    out[row["key"]] = row["status"]
+        return out
+
+    def get_result(self, key: str):
+        """The stored ``RunResult`` of a ``done`` row, else ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM experiments WHERE key = ? "
+                "AND status = 'done'", (key,)).fetchone()
+        if row is None or row["result"] is None:
+            return None
+        return pickle.loads(row["result"])
+
+    def get_error(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT error FROM experiments WHERE key = ?",
+                (key,)).fetchone()
+        return None if row is None else row["error"]
+
+    def rows(self, status: Optional[str] = None) -> List[StoreRow]:
+        """Every row (oldest first), optionally filtered by status."""
+        import json
+
+        if status is not None and status not in STATUSES:
+            raise ConfigError(
+                f"unknown status {status!r}; known: {list(STATUSES)}")
+        query = ("SELECT key, payload, status, attempts, lease_owner, "
+                 "error, created_at, finished_at FROM experiments")
+        params: tuple = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            params = (status,)
+        query += " ORDER BY created_at, key"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [StoreRow(key=r["key"], payload=json.loads(r["payload"]),
+                         status=r["status"], attempts=r["attempts"],
+                         lease_owner=r["lease_owner"], error=r["error"],
+                         created_at=r["created_at"],
+                         finished_at=r["finished_at"]) for r in rows]
+
+
+def _last_line(text: str) -> str:
+    lines = [ln for ln in (text or "").strip().splitlines() if ln.strip()]
+    return lines[-1] if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# The worker pull loop.
+
+def _heartbeat_loop(store: ExperimentStore, key: str, owner: str,
+                    heartbeat_seconds: float, lease_seconds: float,
+                    stop: threading.Event) -> None:
+    """Daemon-thread body: extend the lease until told to stop or the
+    lease is lost (reaped under us)."""
+    while not stop.wait(heartbeat_seconds):
+        try:
+            if not store.heartbeat(key, owner, lease_seconds):
+                return  # lease reclaimed; the result write will be fenced
+        except sqlite3.OperationalError:
+            # Transient contention beyond the retry budget: keep trying
+            # on the next beat; the lease outlives several misses.
+            continue
+
+
+def run_claimed(store: ExperimentStore, row: ClaimedRow, owner: str,
+                heartbeat_seconds: float, lease_seconds: float) -> bool:
+    """Simulate one claimed cell, heartbeating throughout.
+
+    Returns ``True`` iff this worker's result landed (the lease was
+    still ours at commit time).  A simulation error is recorded via
+    :meth:`ExperimentStore.fail` (retried or quarantined); an interrupt
+    releases the lease and re-raises.
+    """
+    from repro.harness.parallel import simulate
+
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(store, row.key, owner, heartbeat_seconds, lease_seconds,
+              stop),
+        name=f"store-heartbeat-{row.key[:8]}", daemon=True)
+    beat.start()
+    try:
+        result = simulate(row.spec)
+    except (KeyboardInterrupt, SystemExit):
+        stop.set()
+        beat.join()
+        store.release(row.key, owner)
+        raise
+    except BaseException:
+        stop.set()
+        beat.join()
+        store.fail(row.key, owner, traceback.format_exc())
+        return False
+    stop.set()
+    beat.join()
+    return store.complete(row.key, owner, result)
+
+
+def drain(store: ExperimentStore, owner: Optional[str] = None,
+          heartbeat_seconds: float = 2.0,
+          lease_seconds: Optional[float] = None,
+          poll_seconds: float = 0.2,
+          stop: Optional[threading.Event] = None,
+          on_cell: Optional[Callable[[ClaimedRow, bool], None]] = None,
+          ) -> int:
+    """Pull-loop: claim, simulate, commit until the store has no open
+    rows (or ``stop`` is set).  Any number of processes on any number of
+    machines may drain one store concurrently.
+
+    The loop doubles as the reaper: whenever it finds nothing pending it
+    reclaims expired leases, so a sweep whose workers all died resumes
+    the moment any one worker restarts.  Returns the number of cells
+    this call completed.
+    """
+    owner = owner or default_owner()
+    lease = (lease_seconds if lease_seconds is not None
+             else max(heartbeat_seconds * 5.0, 1.0))
+    if lease <= heartbeat_seconds:
+        raise ConfigError(
+            f"lease_seconds ({lease}) must exceed heartbeat_seconds "
+            f"({heartbeat_seconds}) or every live lease expires")
+    stop = stop or threading.Event()
+    completed = 0
+    while not stop.is_set():
+        row = store.claim(owner, lease)
+        if row is None:
+            store.reap()
+            if store.open_count() == 0:
+                break
+            stop.wait(poll_seconds)
+            continue
+        landed = run_claimed(store, row, owner, heartbeat_seconds, lease)
+        completed += landed
+        if on_cell is not None:
+            on_cell(row, landed)
+    return completed
+
+
+@contextmanager
+def graceful_signals():
+    """Convert ``SIGTERM`` into :class:`KeyboardInterrupt` for the block.
+
+    Long-running harness commands (``repro workers``, ``repro reproduce
+    --parallel``) wrap their body in this so a ``kill`` (or a SIGINT)
+    unwinds through the normal interrupt path — releasing held leases
+    and cancelling queued futures — instead of dying with a bare
+    traceback mid-write.  A no-op off the main thread (signal handlers
+    can only be installed there).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _to_interrupt(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _to_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def run_worker(path: str, owner: Optional[str] = None,
+               heartbeat_seconds: float = 2.0,
+               lease_seconds: Optional[float] = None,
+               poll_seconds: float = 0.2,
+               max_attempts: int = 3) -> int:
+    """Process entry point: open ``path`` and :func:`drain` it.
+
+    Picklable by construction so it works as a ``multiprocessing``
+    target (the ``repro workers`` CLI and the ``ExecutionContext`` store
+    backend both spawn it).  SIGTERM/SIGINT release the held lease and
+    exit cleanly instead of stranding it until lease expiry.
+    """
+    store = ExperimentStore(path, max_attempts=max_attempts)
+    try:
+        with graceful_signals():
+            return drain(store, owner=owner,
+                         heartbeat_seconds=heartbeat_seconds,
+                         lease_seconds=lease_seconds,
+                         poll_seconds=poll_seconds)
+    except KeyboardInterrupt:
+        return 0  # lease already released by run_claimed
+    finally:
+        store.close()

@@ -19,10 +19,11 @@ Three layers:
   :meth:`RunSpec.cache_key`.  Corrupt or unreadable entries count as
   misses and are evicted.
 - :class:`ExecutionContext` — how runs execute right now: a worker
-  budget (``parallel``) and an optional cache.  The active context is
-  process-global and installed with :func:`execution`; the serial
-  default keeps every existing entry point byte-identical to the
-  pre-parallel behaviour.
+  budget (``parallel``), an optional cache, and optionally a durable
+  :class:`~repro.harness.db.ExperimentStore` job queue (crash-resilient
+  multi-machine sweeps).  The active context is process-global and
+  installed with :func:`execution`; the serial default keeps every
+  existing entry point byte-identical to the pre-parallel behaviour.
 
 Determinism contract: a cell's result depends only on its
 :class:`RunSpec`.  Sharding changes *where* a cell simulates, never its
@@ -41,7 +42,9 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -172,9 +175,23 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.io_errors = 0
+        self._warned: set = set()
 
     def _entry(self, key: str) -> str:
         return os.path.join(self.path, f"{key}.pkl")
+
+    def _warn(self, what: str, exc: OSError) -> None:
+        """One-line, once-per-cause warning: an unusable cache must not
+        degrade invisibly into a 100% miss rate."""
+        self.io_errors += 1
+        cause = type(exc).__name__
+        if (what, cause) in self._warned:
+            return
+        self._warned.add((what, cause))
+        warnings.warn(f"result cache {self.path}: {what} ({exc}); "
+                      "continuing without this entry", RuntimeWarning,
+                      stacklevel=3)
 
     def get(self, spec: RunSpec):
         """The cached :class:`RunResult` for ``spec``, or ``None``."""
@@ -185,25 +202,50 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
+        except PermissionError as exc:
+            # An unreadable dir is an operational problem, not a miss.
+            self._warn("entry unreadable", exc)
+            self.misses += 1
+            return None
         except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, OSError):
+                ImportError, OSError) as exc:
             # A torn or stale entry is a miss; evict it so the slot heals.
             try:
                 os.unlink(entry)
-            except OSError:
-                pass
+            except FileNotFoundError:
+                pass  # racing eviction already healed the slot
+            except OSError as unlink_exc:
+                self._warn("cannot evict corrupt entry", unlink_exc)
+            if isinstance(exc, OSError):
+                self._warn("entry read failed", exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
     def put(self, spec: RunSpec, result) -> None:
-        """Store ``result`` under ``spec``'s key (atomic rename)."""
-        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        """Store ``result`` under ``spec``'s key (atomic rename).
+
+        A cache that cannot be written (read-only or full directory) is
+        reported once and skipped — it must not abort the simulation
+        whose result it was merely memoising.
+        """
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        except OSError as exc:
+            self._warn("store failed", exc)
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._entry(spec.cache_key()))
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._warn("store failed", exc)
+            return
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -222,8 +264,10 @@ class ResultCache:
             if name.endswith(".pkl"):
                 try:
                     os.unlink(os.path.join(self.path, name))
-                except OSError:
-                    pass
+                except FileNotFoundError:
+                    pass  # concurrent clear/eviction won the race
+                except OSError as exc:
+                    self._warn("clear failed", exc)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -280,16 +324,35 @@ class CellRequest:
 
 
 class ExecutionContext:
-    """How experiment runs execute: worker budget plus optional cache."""
+    """How experiment runs execute: worker budget, optional cache, and
+    optionally a durable :class:`~repro.harness.db.ExperimentStore`.
+
+    With ``store=`` set, specs are enqueued as rows and drained through
+    the store's lease/heartbeat/reaper protocol instead of a transient
+    process pool: ``parallel - 1`` helper worker processes are spawned
+    (the coordinator drains too), cells finished by a *previous* run of
+    the same store are never re-simulated, and external ``repro
+    workers`` processes — on this or any other machine — may drain the
+    same store concurrently.
+    """
+
+    #: Times a spec lost to a dying pool worker may be resubmitted
+    #: before the grid gives up (satellite: BrokenProcessPool recovery).
+    max_spec_retries = 2
 
     def __init__(self, parallel: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 store=None) -> None:
         if parallel < 1:
             raise ConfigError(f"parallel must be >= 1, got {parallel}")
         self.parallel = parallel
         self.cache = cache
-        #: Simulations actually executed (cache hits excluded).
+        self.store = store
+        #: Simulations actually executed by this context (cache hits and
+        #: store rows finished elsewhere excluded).
         self.simulations = 0
+        #: Process pools rebuilt after a worker died (OOM-kill etc.).
+        self.pool_rebuilds = 0
 
     # -- execution ---------------------------------------------------------
     def run_specs(self, specs: Sequence[RunSpec],
@@ -326,7 +389,9 @@ class ExecutionContext:
 
         todo = [(indices, specs[indices[0]])
                 for indices in pending.values()]
-        if len(todo) > 1 and self.parallel > 1:
+        if self.store is not None and todo:
+            self._run_store(todo, deliver)
+        elif len(todo) > 1 and self.parallel > 1:
             self._run_pool(todo, deliver)
         else:
             for indices, spec in todo:
@@ -338,22 +403,128 @@ class ExecutionContext:
         return results
 
     def _run_pool(self, todo, deliver) -> None:
-        """Shard ``todo`` over a process pool, streaming completions."""
-        workers = min(self.parallel, len(todo))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(simulate, spec): (indices, spec)
-                       for indices, spec in todo}
-            outstanding = set(futures)
+        """Shard ``todo`` over a process pool, streaming completions.
+
+        Robust to dying pool workers: an OOM-killed child breaks the
+        whole ``ProcessPoolExecutor`` (every in-flight future raises
+        :class:`BrokenProcessPool`), so the lost specs are resubmitted
+        to a fresh pool up to :attr:`max_spec_retries` times each before
+        the error propagates.  An interrupt cancels queued futures and
+        re-raises (finished cells are already cached/delivered).
+        """
+        queue = [(indices, spec, 0) for indices, spec in todo]
+        while queue:
+            batch, queue = queue, []
+            lost = self._pool_round(batch, deliver)
+            if not lost:
+                break
+            for indices, spec, tries in lost:
+                if tries + 1 > self.max_spec_retries:
+                    raise BrokenProcessPool(
+                        f"a pool worker died {tries + 1} times on spec "
+                        f"{spec.cache_key()[:12]} "
+                        f"({spec.app} x {spec.scheduler}); giving up")
+                queue.append((indices, spec, tries + 1))
+            self.pool_rebuilds += 1
+
+    def _pool_round(self, batch, deliver) -> list:
+        """One pool lifetime: run ``batch``, return items lost to a
+        broken pool (empty list means the round completed)."""
+        workers = min(self.parallel, len(batch))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {}
+        for item in batch:
+            futures[pool.submit(simulate, item[1])] = item
+        outstanding = set(futures)
+        lost = []
+        try:
             while outstanding:
                 done, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
                 for fut in done:
-                    indices, spec = futures[fut]
-                    result = fut.result()  # propagate worker exceptions
-                    self.simulations += 1
-                    if self.cache is not None:
-                        self.cache.put(spec, result)
-                    deliver(indices, result)
+                    indices, spec, tries = futures[fut]
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        # The pool is gone: everything not yet delivered
+                        # — this future, its siblings in `done`, and all
+                        # outstanding ones — must be salvaged/requeued.
+                        lost.append(futures[fut])
+                        for other in done - {fut} | outstanding:
+                            item = futures[other]
+                            try:
+                                deliver_result = other.result(timeout=0)
+                            except BaseException:
+                                lost.append(item)
+                            else:
+                                self._finish(item, deliver_result,
+                                             deliver)
+                        return lost
+                    self._finish((indices, spec, tries), result, deliver)
+        except (KeyboardInterrupt, SystemExit):
+            for fut in outstanding:
+                fut.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return lost
+
+    def _finish(self, item, result, deliver) -> None:
+        indices, spec, _tries = item
+        self.simulations += 1
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        deliver(indices, result)
+
+    # -- the durable store backend ----------------------------------------
+    def _run_store(self, todo, deliver) -> None:
+        """Drain ``todo`` through the experiment store's job queue.
+
+        Rows already ``done`` in the store (a previous — possibly
+        killed — run of the same sweep) are served without simulating;
+        quarantined rows raise with their captured tracebacks after the
+        rest of the grid completes.
+        """
+        import multiprocessing
+
+        from repro.harness.db import QuarantinedError, drain, run_worker
+
+        store = self.store
+        keyed = {spec.cache_key(): (indices, spec)
+                 for indices, spec in todo}
+        store.add_specs([spec for _, spec in todo])
+        helpers = []
+        mp = multiprocessing.get_context()
+        for _ in range(self.parallel - 1):
+            proc = mp.Process(
+                target=run_worker, args=(store.path,),
+                kwargs={"max_attempts": store.max_attempts},
+                daemon=True)
+            proc.start()
+            helpers.append(proc)
+        try:
+            self.simulations += drain(store)
+        finally:
+            for proc in helpers:
+                proc.join(timeout=30.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join()
+        statuses = store.statuses(keyed)
+        failures = {key: store.get_error(key) or ""
+                    for key, status in sorted(statuses.items())
+                    if status == "failed"}
+        if failures:
+            raise QuarantinedError(failures)
+        for key, (indices, spec) in keyed.items():
+            result = store.get_result(key)
+            if result is None:  # pragma: no cover - defensive
+                raise ConfigError(
+                    f"store row {key[:12]} vanished mid-sweep")
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            deliver(indices, result)
 
     def run_cells(self, requests: Sequence[CellRequest]) -> List[object]:
         """Execute a grid of cells; one :class:`CellResult` per request.
@@ -386,22 +557,33 @@ def current_context() -> ExecutionContext:
 
 @contextmanager
 def execution(parallel: int = 1, cache_dir: Optional[str] = None,
-              cache: Optional[ResultCache] = None):
+              cache: Optional[ResultCache] = None,
+              store=None, store_path: Optional[str] = None):
     """Install an :class:`ExecutionContext` for the enclosed block.
 
     ``with execution(parallel=4, cache_dir=".repro-cache"): fig5()``
     shards every cell fig5 runs over four processes and memoises them.
+    ``store_path`` (or an open ``store``) routes the same cells through
+    a durable :class:`~repro.harness.db.ExperimentStore` job queue
+    instead — resumable after any crash, drainable from other machines.
     """
     global _current
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    ctx = ExecutionContext(parallel=parallel, cache=cache)
+    owns_store = False
+    if store is None and store_path is not None:
+        from repro.harness.db import ExperimentStore
+        store = ExperimentStore(store_path)
+        owns_store = True
+    ctx = ExecutionContext(parallel=parallel, cache=cache, store=store)
     previous = _current
     _current = ctx
     try:
         yield ctx
     finally:
         _current = previous
+        if owns_store:
+            store.close()
 
 
 def run_cells(requests: Sequence[CellRequest]) -> List[object]:

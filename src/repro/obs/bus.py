@@ -49,6 +49,7 @@ class EventBus:
         self._sinks: List[Sink] = []
         self._next_sample = 0.0
         self._sampling = False
+        self._clock = None  # standalone wall clock (attach_clock)
         #: thief place -> worker indices with an unresolved steal request.
         self._outstanding: Dict[int, Set[int]] = {}
 
@@ -66,7 +67,7 @@ class EventBus:
         gone; subscribe first when you need the full stream.
         """
         self._sinks.append(sink)
-        if self.rt is not None:
+        if self.rt is not None or self._clock is not None:
             sink.open(self, self.rt)
         return sink
 
@@ -80,11 +81,33 @@ class EventBus:
             raise ConfigError("runtime already has an event bus")
         if self.rt is not None:
             raise ConfigError("event bus already attached to a runtime")
+        if self._clock is not None:
+            raise ConfigError("event bus is in standalone (clock) mode")
         self.rt = rt
         rt.obs = self
         rt.network.obs = self
         for sink in self._sinks:
             sink.open(self, rt)
+        return self
+
+    def attach_clock(self, clock=None) -> "EventBus":
+        """Use the bus *standalone* — no runtime, host-clock timestamps.
+
+        For harness-side event sources (the experiment store's lease /
+        reaper lifecycle) where there is no simulated clock.  Only sinks
+        that ignore the runtime in ``open`` make sense here (``InMemory``
+        and ``Jsonl``; the Chrome sink needs a runtime's cost model).
+        ``clock`` defaults to ``time.time``.
+        """
+        import time
+
+        if self.rt is not None:
+            raise ConfigError("bus already attached to a runtime")
+        if self._clock is not None:
+            raise ConfigError("bus already has a standalone clock")
+        self._clock = clock if clock is not None else time.time
+        for sink in self._sinks:
+            sink.open(self, None)
         return self
 
     # -- emission ----------------------------------------------------------
@@ -104,7 +127,7 @@ class EventBus:
             raise ConfigError(
                 f"event {kind!r} fields {sorted(fields)} do not match "
                 f"schema {list(schema)}")
-        now = self.rt.env.now
+        now = self.rt.env.now if self.rt is not None else self._clock()
         self.counts[kind] += 1
         if kind == "steal_request":
             self._outstanding.setdefault(

@@ -56,6 +56,20 @@ Online tuning (``repro.tune.controllers``):
     ``knob_update``  — a feedback controller changed a scheduler knob
                        (``place`` is -1 for cluster-wide knobs like the
                        remote chunk size).
+
+Experiment store (``repro.harness.db``; emitted by a *standalone* bus —
+wall-clock ``t``, no runtime attached):
+    ``store_lease``          — a worker leased one pending cell
+                               (``attempt`` is 1-based);
+    ``store_heartbeat_miss`` — the reaper found a lease that expired
+                               without a heartbeat (``overdue`` seconds
+                               past the deadline);
+    ``store_reclaim``        — an expired lease's cell was re-opened for
+                               another worker (``owner`` is the presumed-
+                               dead previous holder);
+    ``store_quarantine``     — a cell exhausted ``max_attempts`` and was
+                               parked as ``failed`` (poison cell) with
+                               the last line of its error.
 """
 
 from __future__ import annotations
@@ -82,6 +96,10 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "fault": ("what", "place", "detail"),
     "sample": ("place", "private", "shared", "mailbox", "outstanding"),
     "knob_update": ("name", "place", "value"),
+    "store_lease": ("key", "owner", "attempt"),
+    "store_heartbeat_miss": ("key", "owner", "overdue"),
+    "store_reclaim": ("key", "owner", "attempt"),
+    "store_quarantine": ("key", "attempts", "error"),
 }
 
 

@@ -489,6 +489,12 @@ class Process(Event):
             env._active_processes -= 1
             self.succeed(stop.value)
             return
+        except (KeyboardInterrupt, SystemExit):
+            # A host-level interrupt (ctrl-C, SIGTERM) landing mid-step
+            # aborts the whole run; it must never masquerade as a
+            # simulated process death.
+            env._current = None
+            raise
         except BaseException as exc:
             env._current = None
             env._active_processes -= 1
@@ -508,6 +514,9 @@ class Process(Event):
             env._active_processes -= 1
             self.succeed(stop.value)
             return
+        except (KeyboardInterrupt, SystemExit):
+            env._current = None
+            raise
         except BaseException as raised:
             env._current = None
             env._active_processes -= 1

@@ -19,7 +19,12 @@ and executed through the ambient
 over the PR-3 process pool (``--parallel``) and memoise in the
 content-addressed :class:`~repro.harness.parallel.ResultCache` —
 repeating or resuming a search replays finished trials from disk with
-**zero** simulations.
+**zero** simulations.  With ``execution(store_path=...)`` (CLI:
+``repro tune --store``) trials route through the durable
+:class:`~repro.harness.db.ExperimentStore` job queue instead: trials
+become leased rows that ``repro workers`` processes on any machine can
+help drain, a SIGKILLed search resumes exactly where it stopped, and
+finished trials are never re-simulated.
 
 The paper-default configuration (the empty config: every knob at its
 built-in default) is force-evaluated at every fidelity, so each trial

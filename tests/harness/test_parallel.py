@@ -231,3 +231,152 @@ class TestContextPlumbing:
         with pytest.raises(ConfigError):
             CellRequest.build("uts", "DistWS", tiny_spec(),
                               sched_seeds=())
+
+
+# ---------------------------------------------------------------------------
+# Pool-worker death recovery (BrokenProcessPool).
+
+#: Bound before any monkeypatching so the kamikaze can defer to it.
+from repro.harness.parallel import simulate as _real_simulate  # noqa: E402
+
+
+def _kamikaze_simulate(spec):
+    """Pool target that dies (hard, like an OOM kill) exactly once per
+    flag file, then defers to the real simulator."""
+    import os
+
+    flag = os.environ["REPRO_TEST_KAMIKAZE_FLAG"]
+    try:
+        fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return _real_simulate(spec)
+    os.close(fd)
+    os._exit(137)
+
+
+def _always_dies(spec):
+    import os
+
+    os._exit(137)
+
+
+def _fork_only():
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("pool-death tests monkeypatch the child via fork")
+
+
+class TestPoolWorkerDeath:
+    def test_dead_worker_rebuilds_pool_and_recovers(
+            self, tmp_path, monkeypatch):
+        _fork_only()
+        import repro.harness.parallel as parallel_mod
+
+        specs = [RunSpec.build("uts", sched, tiny_spec(), sched_seed=s,
+                               scale="test")
+                 for sched in ("DistWS", "RandomWS") for s in (1, 2)]
+        serial = ExecutionContext().run_specs(specs)
+
+        monkeypatch.setenv("REPRO_TEST_KAMIKAZE_FLAG",
+                           str(tmp_path / "died.flag"))
+        monkeypatch.setattr(parallel_mod, "simulate", _kamikaze_simulate)
+        ctx = ExecutionContext(parallel=2)
+        results = ctx.run_specs(specs)
+
+        assert (tmp_path / "died.flag").exists()
+        assert ctx.pool_rebuilds >= 1
+        got = [json.dumps(r.stats.snapshot(), sort_keys=True)
+               for r in results]
+        want = [json.dumps(r.stats.snapshot(), sort_keys=True)
+                for r in serial]
+        assert got == want
+
+    def test_repeatedly_dying_spec_gives_up_with_context(
+            self, monkeypatch):
+        _fork_only()
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.harness.parallel as parallel_mod
+
+        specs = [RunSpec.build("uts", "DistWS", tiny_spec(), sched_seed=s,
+                               scale="test") for s in (1, 2)]
+        monkeypatch.setattr(parallel_mod, "simulate", _always_dies)
+        ctx = ExecutionContext(parallel=2)
+        with pytest.raises(BrokenProcessPool, match="giving up"):
+            ctx.run_specs(specs)
+        assert ctx.pool_rebuilds == ctx.max_spec_retries
+
+
+# ---------------------------------------------------------------------------
+# Cache degradation is loud (narrowed OSError handling + warnings).
+
+class TestCacheDegradation:
+    def test_unwritable_cache_warns_once_and_continues(
+            self, tmp_path, monkeypatch):
+        import tempfile
+
+        cache = ResultCache(str(tmp_path))
+
+        def refuse(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(tempfile, "mkstemp", refuse)
+        specs = [RunSpec.build("uts", "DistWS", tiny_spec(), sched_seed=s,
+                               scale="test") for s in (1, 2)]
+        with pytest.warns(RuntimeWarning, match="store failed") as rec:
+            cache.put(specs[0], {"x": 1})
+            cache.put(specs[1], {"x": 2})
+        cache_warnings = [w for w in rec
+                         if "result cache" in str(w.message)]
+        assert len(cache_warnings) == 1, "same cause must warn once"
+        assert cache.io_errors == 2
+        assert cache.stores == 0
+        assert len(cache) == 0  # skipped, not torn
+
+    def test_unreadable_entry_warns_and_misses(self, tmp_path):
+        import builtins
+
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        cache.put(spec, {"x": 1})
+        entry = cache._entry(spec.cache_key())
+        real_open = builtins.open
+
+        def deny(path, *args, **kwargs):
+            if str(path) == entry and "r" in str(args[:1] or "r"):
+                raise PermissionError(13, "Permission denied", path)
+            return real_open(path, *args, **kwargs)
+
+        builtins.open = deny
+        try:
+            with pytest.warns(RuntimeWarning, match="entry unreadable"):
+                assert cache.get(spec) is None
+        finally:
+            builtins.open = real_open
+        assert cache.misses == 1
+        assert cache.io_errors == 1
+        # The entry itself is intact — readable again once perms heal.
+        assert cache.get(spec) == {"x": 1}
+
+    def test_entry_replaced_by_directory_warns_but_heals(self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        entry = cache._entry(spec.cache_key())
+        os.makedirs(entry)  # an operator mistake, not a torn write
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(spec) is None
+        assert cache.misses == 1
+        assert cache.io_errors >= 1
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path, recwarn):
+        cache = ResultCache(str(tmp_path))
+        spec = RunSpec.build("uts", "DistWS", tiny_spec(), scale="test")
+        assert cache.get(spec) is None
+        assert cache.misses == 1
+        assert cache.io_errors == 0
+        cache_warnings = [w for w in recwarn.list
+                          if "result cache" in str(w.message)]
+        assert cache_warnings == [], "a plain miss must stay silent"

@@ -1,0 +1,233 @@
+"""Property-based invariants of the experiment-store lease state machine.
+
+Hypothesis drives arbitrary interleavings of the store's public
+operations — multiple owners claiming, heartbeating, completing,
+failing, releasing, plus clock advances and reaper passes — against an
+in-memory SQLite store with a fake clock, and checks the guarantees the
+crash-recovery design rests on:
+
+- **no double-lease** — at most one owner holds any row at a time, and
+  an owner whose lease was reclaimed can never commit a result;
+- **no lost rows** — the row population is conserved: every enqueued
+  key is always in exactly one of ``pending | leased | done | failed``;
+- **terminal means terminal** — ``done`` and ``failed`` rows never
+  change status again (in particular ``done`` survives every reaper
+  pass and late write);
+- **liveness** — whatever state an interleaving strands the store in,
+  a single well-behaved drain pass always drives every row terminal.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness.db import ExperimentStore
+
+#: Replayable, slow-host-tolerant settings (matches the sched module).
+PROPERTY_SETTINGS = dict(deadline=None, print_blob=True,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+N_KEYS = 4
+OWNERS = ("w0", "w1", "w2")
+LEASE = 10.0
+MAX_ATTEMPTS = 3
+
+#: One step of the interleaving.  ``claim`` takes whichever pending row
+#: is oldest, so only the owner varies; targeted ops pick a key index.
+OPS = st.one_of(
+    st.tuples(st.just("claim"), st.sampled_from(OWNERS)),
+    st.tuples(st.just("heartbeat"), st.sampled_from(OWNERS),
+              st.integers(0, N_KEYS - 1)),
+    st.tuples(st.just("complete"), st.sampled_from(OWNERS),
+              st.integers(0, N_KEYS - 1)),
+    st.tuples(st.just("fail"), st.sampled_from(OWNERS),
+              st.integers(0, N_KEYS - 1)),
+    st.tuples(st.just("release"), st.sampled_from(OWNERS),
+              st.integers(0, N_KEYS - 1)),
+    st.tuples(st.just("advance"), st.sampled_from([1.0, 6.0, 11.0])),
+    st.tuples(st.just("reap")),
+)
+
+
+class _FakeSpec:
+    """Minimal stand-in for RunSpec: stable key + JSON payload."""
+
+    def __init__(self, i: int) -> None:
+        self.i = i
+
+    def cache_key(self) -> str:
+        return f"key-{self.i:04d}"
+
+    def payload(self) -> dict:
+        return {"i": self.i}
+
+    def __reduce__(self):
+        return (_FakeSpec, (self.i,))
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def fresh_store(clock: _Clock) -> ExperimentStore:
+    store = ExperimentStore(":memory:", max_attempts=MAX_ATTEMPTS,
+                            clock=clock)
+    store.add_specs([_FakeSpec(i) for i in range(N_KEYS)])
+    return store
+
+
+def all_keys():
+    return [f"key-{i:04d}" for i in range(N_KEYS)]
+
+
+class _Model:
+    """Reference bookkeeping mirrored alongside the real store."""
+
+    def __init__(self) -> None:
+        #: key -> owner for leases the *model* believes are live.
+        self.live: dict = {}
+        self.done: set = set()
+        self.failed: set = set()
+
+
+def check_invariants(store: ExperimentStore, model: _Model) -> None:
+    statuses = store.statuses(all_keys())
+    # No lost rows: population conserved, statuses legal.
+    assert len(statuses) == N_KEYS
+    assert set(statuses.values()) <= {"pending", "leased", "done",
+                                      "failed"}
+    counts = store.counts()
+    assert sum(counts.values()) == N_KEYS
+    # Terminal stays terminal.
+    for key in model.done:
+        assert statuses[key] == "done"
+    for key in model.failed:
+        assert statuses[key] == "failed"
+    # Every live model lease maps to a leased row (no silent drops);
+    # double-leasing is impossible because `live` is keyed by row.
+    for key, owner in model.live.items():
+        assert statuses[key] == "leased"
+        row = [r for r in store.rows(status="leased") if r.key == key]
+        assert row and row[0].lease_owner == owner
+    # Attempt accounting can never exceed the quarantine bound.
+    for row in store.rows():
+        assert 0 <= row.attempts <= MAX_ATTEMPTS
+
+
+@given(ops=st.lists(OPS, min_size=1, max_size=60))
+@settings(max_examples=60, **PROPERTY_SETTINGS)
+def test_lease_state_machine_invariants(ops):
+    clock = _Clock()
+    store = fresh_store(clock)
+    model = _Model()
+    try:
+        for op in ops:
+            name = op[0]
+            if name == "claim":
+                owner = op[1]
+                row = store.claim(owner, LEASE)
+                if row is not None:
+                    # A claim may only hand out a row nobody holds.
+                    assert row.key not in model.live
+                    assert row.key not in model.done
+                    assert row.key not in model.failed
+                    model.live[row.key] = owner
+            elif name == "heartbeat":
+                owner, i = op[1], op[2]
+                key = f"key-{i:04d}"
+                ok = store.heartbeat(key, owner, LEASE)
+                # Only the live holder can extend the lease.
+                assert ok == (model.live.get(key) == owner)
+            elif name == "complete":
+                owner, i = op[1], op[2]
+                key = f"key-{i:04d}"
+                ok = store.complete(key, owner, {"result": i})
+                assert ok == (model.live.get(key) == owner)
+                if ok:
+                    del model.live[key]
+                    model.done.add(key)
+            elif name == "fail":
+                owner, i = op[1], op[2]
+                key = f"key-{i:04d}"
+                status = store.fail(key, owner, f"boom {i}")
+                if model.live.get(key) == owner:
+                    assert status in ("pending", "failed")
+                    del model.live[key]
+                    if status == "failed":
+                        model.failed.add(key)
+                else:
+                    assert status == "lost"
+            elif name == "release":
+                owner, i = op[1], op[2]
+                key = f"key-{i:04d}"
+                ok = store.release(key, owner)
+                assert ok == (model.live.get(key) == owner)
+                if ok:
+                    del model.live[key]
+            elif name == "advance":
+                clock.t += op[1]
+            elif name == "reap":
+                reclaimed = store.reap()
+                for key in reclaimed:
+                    # Reaped rows were leased and past deadline.
+                    assert key in model.live
+                    del model.live[key]
+                # Reap may also quarantine expired max-attempt rows.
+                statuses = store.statuses(all_keys())
+                for key in list(model.live):
+                    if statuses[key] == "failed":
+                        del model.live[key]
+                        model.failed.add(key)
+                for key, status in statuses.items():
+                    if status == "failed":
+                        model.failed.add(key)
+            check_invariants(store, model)
+
+        # Liveness: a well-behaved pass always finishes the sweep.
+        clock.t += LEASE + 1.0
+        store.reap()
+        while True:
+            row = store.claim("finisher", LEASE)
+            if row is None:
+                break
+            store.complete(row.key, "finisher", {"final": True})
+        statuses = store.statuses(all_keys())
+        assert set(statuses.values()) <= {"done", "failed"}
+        # Done results are readable; failed rows carry their error.
+        for key, status in statuses.items():
+            if status == "done":
+                assert store.get_result(key) is not None
+            else:
+                assert store.get_error(key)
+    finally:
+        store.close()
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=25, **PROPERTY_SETTINGS)
+def test_competing_claims_partition_the_rows(seed):
+    """However many owners race, claims partition pending rows: each
+    row is handed out once per lease generation, never twice."""
+    import random
+
+    rng = random.Random(seed)
+    clock = _Clock()
+    store = fresh_store(clock)
+    try:
+        held = {}
+        while True:
+            owner = rng.choice(OWNERS)
+            row = store.claim(owner, LEASE)
+            if row is None:
+                break
+            assert row.key not in held, "double-lease"
+            held[row.key] = owner
+        assert len(held) == N_KEYS
+        assert store.counts()["leased"] == N_KEYS
+    finally:
+        store.close()

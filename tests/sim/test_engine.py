@@ -114,6 +114,37 @@ class TestProcess:
         assert not p.ok
         assert isinstance(p.value, SimulationError)
 
+    def test_keyboard_interrupt_aborts_the_run(self, env):
+        """A host-level interrupt (ctrl-C / SIGTERM handler) raised
+        mid-step must unwind out of `env.run`, not be recorded as a
+        simulated process death."""
+        import pytest
+
+        def proc():
+            yield env.timeout(1)
+            raise KeyboardInterrupt
+
+        p = env.process(proc())
+        with pytest.raises(KeyboardInterrupt):
+            env.run()
+        assert not p.triggered  # not converted into a failed event
+
+    def test_keyboard_interrupt_via_throw_aborts_the_run(self, env):
+        import pytest
+
+        bad = env.event()
+
+        def proc():
+            try:
+                yield bad
+            except ValueError:
+                raise KeyboardInterrupt
+
+        env.process(proc())
+        bad.fail(ValueError("delivered"))
+        with pytest.raises(KeyboardInterrupt):
+            env.run()
+
     def test_interrupt_wakes_process(self, env):
         trace = []
 
