@@ -14,7 +14,7 @@ Subcommands:
 - ``enqueue`` — seed a durable experiment store with a grid of cells;
 - ``workers`` — drain a store: claim cells under time-bounded leases,
   heartbeat while simulating, commit results transactionally (any
-  number of processes on any number of machines; crash-resumable);
+  number of processes on the store's host; crash-resumable);
 - ``query`` — inspect a store's rows and longitudinal results;
 - ``list`` — what's available.
 """
@@ -380,7 +380,7 @@ def _cmd_enqueue(args) -> int:
     print(render_table(["status", "cells"], _store_counts_rows(counts),
                        title="store state"))
     print("\ndrain with: repro workers --store "
-          f"{args.store} --workers N  (any machine sharing the path)")
+          f"{args.store} --workers N  (any process on this host)")
     return 0
 
 
@@ -429,9 +429,19 @@ def _cmd_workers(args) -> int:
             for proc in helpers:
                 proc.terminate()  # SIGTERM: children release leases too
             code = 130
+        except BaseException:
+            # Any coordinator error (schema mismatch, StoreError, ...):
+            # don't let the finally's join hide it behind helpers that
+            # would otherwise drain the whole store first.
+            for proc in helpers:
+                proc.terminate()
+            raise
     finally:
         for proc in helpers:
-            proc.join()
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join()
         counts = store.counts()
         failed = store.rows(status="failed") if counts["failed"] else []
         if bus is not None:
@@ -665,7 +675,7 @@ def main(argv=None) -> int:
     repp.add_argument("--store", metavar="PATH",
                       help="route the grid through a durable experiment "
                            "store (SQLite job queue): crash-resumable, "
-                           "drainable by `repro workers` on any machine")
+                           "drainable by `repro workers` on this host")
 
     enq = sub.add_parser("enqueue",
                          help="seed a durable experiment store with a "

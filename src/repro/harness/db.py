@@ -1,4 +1,4 @@
-"""Crash-resilient experiment store: a SQLite-backed multi-machine job queue.
+"""Crash-resilient experiment store: a SQLite-backed multi-worker job queue.
 
 The paper's evaluation is a grid of independent deterministic cells, and
 million-cell parameter studies (schedulers x apps x cluster shapes x
@@ -17,8 +17,8 @@ Three layers:
   failed``; results are the same pickled ``RunResult`` payload the
   :class:`~repro.harness.parallel.ResultCache` uses.  Every write is one
   transaction, retried with exponential backoff on ``database is
-  locked`` so any number of processes on any number of machines can
-  share the file (or a network filesystem) safely.
+  locked`` so any number of processes on one host can share the file
+  safely.
 - **Leases + heartbeats** — :meth:`ExperimentStore.claim` atomically
   moves one pending row to ``leased`` under a time-bounded lease;
   :func:`drain` heartbeats the lease from a daemon thread while the
@@ -42,6 +42,16 @@ Store lifecycle events (``store_lease``, ``store_heartbeat_miss``,
 ``store_reclaim``, ``store_quarantine``) publish on the
 :class:`~repro.obs.bus.EventBus` when one is attached via ``bus=``
 (standalone mode: wall-clock timestamps, no runtime required).
+
+Scope: one host, many processes.  SQLite's WAL journal keeps its write
+index in host-local shared memory (the ``-shm`` file ``mmap``-ed by
+every connection), so two *machines* mounting one store over NFS/SMB
+bypass each other's locking — the lease fence and exactly-once
+guarantees no longer hold and the database itself can be corrupted.
+Do not share a store file across hosts over a network filesystem;
+run one store per host, or front a shared store with a single host's
+``repro workers`` processes.  True multi-machine draining needs a
+server-backed queue (future work, see ROADMAP).
 """
 
 from __future__ import annotations
@@ -209,10 +219,17 @@ class ExperimentStore:
                     self._conn.execute("BEGIN IMMEDIATE")
                     try:
                         out = fn(self._conn)
+                        self._conn.execute("COMMIT")
                     except BaseException:
-                        self._conn.execute("ROLLBACK")
+                        # COMMIT itself can raise a transient busy error;
+                        # always reset transaction state here or the
+                        # retry's BEGIN IMMEDIATE dies with "cannot start
+                        # a transaction within a transaction".
+                        try:
+                            self._conn.execute("ROLLBACK")
+                        except sqlite3.OperationalError:
+                            pass
                         raise
-                    self._conn.execute("COMMIT")
                     return out
             except sqlite3.OperationalError as exc:
                 if not _locked(exc) or attempt == self.busy_retries:
@@ -566,8 +583,9 @@ def drain(store: ExperimentStore, owner: Optional[str] = None,
           on_cell: Optional[Callable[[ClaimedRow, bool], None]] = None,
           ) -> int:
     """Pull-loop: claim, simulate, commit until the store has no open
-    rows (or ``stop`` is set).  Any number of processes on any number of
-    machines may drain one store concurrently.
+    rows (or ``stop`` is set).  Any number of processes on the store's
+    host may drain it concurrently (WAL does not span machines — see
+    the module docstring).
 
     The loop doubles as the reaper: whenever it finds nothing pending it
     reclaims expired leases, so a sweep whose workers all died resumes

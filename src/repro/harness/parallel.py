@@ -21,7 +21,7 @@ Three layers:
 - :class:`ExecutionContext` — how runs execute right now: a worker
   budget (``parallel``), an optional cache, and optionally a durable
   :class:`~repro.harness.db.ExperimentStore` job queue (crash-resilient
-  multi-machine sweeps).  The active context is process-global and
+  multi-worker sweeps).  The active context is process-global and
   installed with :func:`execution`; the serial default keeps every
   existing entry point byte-identical to the pre-parallel behaviour.
 
@@ -43,7 +43,13 @@ import os
 import pickle
 import tempfile
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -332,8 +338,9 @@ class ExecutionContext:
     process pool: ``parallel - 1`` helper worker processes are spawned
     (the coordinator drains too), cells finished by a *previous* run of
     the same store are never re-simulated, and external ``repro
-    workers`` processes — on this or any other machine — may drain the
-    same store concurrently.
+    workers`` processes on the same host may drain the same store
+    concurrently (WAL does not span machines — see the db module
+    docstring).
     """
 
     #: Times a spec lost to a dying pool worker may be resubmitted
@@ -441,26 +448,31 @@ class ExecutionContext:
             while outstanding:
                 done, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
-                for fut in done:
-                    indices, spec, tries = futures[fut]
+                while done:
+                    fut = done.pop()
                     try:
                         result = fut.result()
                     except BrokenProcessPool:
                         # The pool is gone: everything not yet delivered
-                        # — this future, its siblings in `done`, and all
-                        # outstanding ones — must be salvaged/requeued.
+                        # — this future, its unprocessed siblings left
+                        # in `done`, and all outstanding ones — must be
+                        # salvaged or requeued exactly once (popping as
+                        # we deliver keeps finished futures out of the
+                        # salvage set).  A future holding a genuine
+                        # simulation error propagates it here rather
+                        # than burning a requeue round on it.
                         lost.append(futures[fut])
-                        for other in done - {fut} | outstanding:
+                        for other in done | outstanding:
                             item = futures[other]
                             try:
-                                deliver_result = other.result(timeout=0)
-                            except BaseException:
+                                salvaged = other.result(timeout=0)
+                            except (BrokenProcessPool, CancelledError,
+                                    FuturesTimeoutError):
                                 lost.append(item)
                             else:
-                                self._finish(item, deliver_result,
-                                             deliver)
+                                self._finish(item, salvaged, deliver)
                         return lost
-                    self._finish((indices, spec, tries), result, deliver)
+                    self._finish(futures[fut], result, deliver)
         except (KeyboardInterrupt, SystemExit):
             for fut in outstanding:
                 fut.cancel()
@@ -565,7 +577,8 @@ def execution(parallel: int = 1, cache_dir: Optional[str] = None,
     shards every cell fig5 runs over four processes and memoises them.
     ``store_path`` (or an open ``store``) routes the same cells through
     a durable :class:`~repro.harness.db.ExperimentStore` job queue
-    instead — resumable after any crash, drainable from other machines.
+    instead — resumable after any crash, drainable by other worker
+    processes on the same host.
     """
     global _current
     if cache is None and cache_dir is not None:

@@ -22,8 +22,8 @@ repeating or resuming a search replays finished trials from disk with
 **zero** simulations.  With ``execution(store_path=...)`` (CLI:
 ``repro tune --store``) trials route through the durable
 :class:`~repro.harness.db.ExperimentStore` job queue instead: trials
-become leased rows that ``repro workers`` processes on any machine can
-help drain, a SIGKILLed search resumes exactly where it stopped, and
+become leased rows that ``repro workers`` processes on the same host
+can help drain, a SIGKILLed search resumes exactly where it stopped, and
 finished trials are never re-simulated.
 
 The paper-default configuration (the empty config: every knob at its

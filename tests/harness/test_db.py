@@ -256,6 +256,55 @@ class TestPersistence:
             make_store(tmp_path, max_attempts=0)
 
 
+class _FlakyCommitConn:
+    """Delegating wrapper whose COMMIT raises `database is locked` the
+    first ``failures`` times without committing (the transaction stays
+    open on the real connection, as with genuine cross-process busy)."""
+
+    def __init__(self, conn, failures: int) -> None:
+        self._real = conn
+        self.failures = failures
+
+    def execute(self, sql, *args):
+        if sql == "COMMIT" and self.failures > 0:
+            self.failures -= 1
+            import sqlite3
+            raise sqlite3.OperationalError("database is locked")
+        return self._real.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestBusyRetry:
+    def test_commit_failure_is_rolled_back_and_retried(self, tmp_path):
+        """A busy error out of COMMIT itself must not strand the
+        connection inside the open transaction — the retry's BEGIN
+        IMMEDIATE would die with 'cannot start a transaction within a
+        transaction' instead of retrying."""
+        store = make_store(tmp_path, busy_base_sleep=0.001)
+        store._conn = _FlakyCommitConn(store._conn, failures=2)
+        specs = grid_specs()
+        assert store.add_specs(specs) == len(specs)
+        assert store._conn.failures == 0
+        assert store.counts()["pending"] == len(specs)
+        store.close()
+
+    def test_commit_failure_budget_exhausted_raises_locked(self, tmp_path):
+        """Even when retries run out, the surfaced error is the busy
+        one, not a transaction-nesting artifact."""
+        import sqlite3
+
+        store = make_store(tmp_path, busy_retries=1,
+                           busy_base_sleep=0.001)
+        store._conn = _FlakyCommitConn(store._conn, failures=99)
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.add_specs(grid_specs())
+        # The failed transaction was reset: plain reads still work.
+        assert store.counts()["pending"] == 0
+        store.close()
+
+
 class TestDrain:
     def test_drain_matches_serial_bytes(self, tmp_path):
         specs = grid_specs()

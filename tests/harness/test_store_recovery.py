@@ -140,7 +140,7 @@ def test_sigkill_coordinator_mid_sweep_resumes_incrementally(tmp_path):
 
 
 def test_two_workers_drain_one_store(tmp_path):
-    """The multi-machine shape: two independent processes pull from one
+    """The multi-worker shape: two independent processes pull from one
     store; the union of their work is the whole grid, exactly once."""
     from repro.harness.db import run_worker
 

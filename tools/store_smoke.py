@@ -2,7 +2,7 @@
 """Kill-recovery smoke for the experiment store (CI store-smoke job).
 
 Exercises the crash-resilience contract of ``repro.harness.db`` end to
-end, the way an unlucky multi-machine sweep would:
+end, the way an unlucky multi-worker sweep would:
 
 1. run a reduced grid **serially** for the reference snapshot;
 2. enqueue the same grid into a SQLite store and start ``--workers``
