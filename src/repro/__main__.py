@@ -15,7 +15,11 @@ Subcommands:
 - ``workers`` — drain a store: claim cells under time-bounded leases,
   heartbeat while simulating, commit results transactionally (any
   number of processes on the store's host; crash-resumable);
-- ``query`` — inspect a store's rows and longitudinal results;
+- ``query`` — inspect a store's rows and longitudinal results
+  (``--rollup`` merges shipped telemetry into fleet-wide histograms;
+  ``--quarantined`` prints poisoned cells with their tracebacks);
+- ``top`` — live dashboard over a store being drained (read-only);
+- ``report`` — static HTML/SVG sweep report + merged Chrome trace;
 - ``list`` — what's available.
 """
 
@@ -393,6 +397,7 @@ def _cmd_workers(args) -> int:
         graceful_signals,
         run_worker,
     )
+    from repro.obs.fleet import FleetTelemetry
 
     bus = None
     if args.events:
@@ -400,6 +405,9 @@ def _cmd_workers(args) -> int:
         bus = EventBus()
         bus.subscribe(JsonlSink(path=args.events))
         bus.attach_clock()
+    fleet = FleetTelemetry(enabled=not args.no_telemetry,
+                           sample_interval=args.sample_interval,
+                           trace_dir=args.trace_dir)
     store = ExperimentStore(args.store, max_attempts=args.max_attempts,
                             bus=bus)
     helpers = []
@@ -410,7 +418,8 @@ def _cmd_workers(args) -> int:
             kwargs={"heartbeat_seconds": args.heartbeat,
                     "lease_seconds": args.lease,
                     "poll_seconds": args.poll,
-                    "max_attempts": args.max_attempts})
+                    "max_attempts": args.max_attempts,
+                    "fleet": fleet})
         proc.start()
         helpers.append(proc)
     completed = 0
@@ -421,7 +430,8 @@ def _cmd_workers(args) -> int:
                 completed = drain(store,
                                   heartbeat_seconds=args.heartbeat,
                                   lease_seconds=args.lease,
-                                  poll_seconds=args.poll)
+                                  poll_seconds=args.poll,
+                                  fleet=fleet)
         except KeyboardInterrupt:
             print("\ninterrupted: lease released; stopping workers "
                   "(re-run `repro workers` to resume the sweep)",
@@ -463,12 +473,46 @@ def _cmd_workers(args) -> int:
     return code
 
 
+def _print_quarantined(rows) -> None:
+    """Print quarantined (permanently failed) rows with tracebacks."""
+    if not rows:
+        print("no quarantined cells")
+        return
+    for row in rows:
+        p = row.payload
+        print(f"=== {row.key} — {p.get('app')} x {p.get('scheduler')} "
+              f"(seed {p.get('sched_seed')}, {row.attempts} attempt(s), "
+              f"last owner {row.lease_owner or '?'})")
+        print((row.error or "<no traceback captured>").rstrip())
+        print()
+
+
+def _print_rollup(store, keys) -> None:
+    """Merge the matching cells' telemetry into fleet-wide histograms."""
+    from repro.obs.fleet import rollup_histograms, rollup_rows
+
+    tel = store.telemetry_rows(keys=keys)
+    rollup = rollup_histograms(r.data for r in tel)
+    rows = rollup_rows(rollup)
+    print(render_table(
+        ["histogram", "count", "mean", "min", "p50", "p90", "p99",
+         "max"], rows,
+        title=f"rollup over {len(tel)} telemetry row(s)"))
+    if not tel:
+        print("\n(no telemetry shipped for the matching cells — drain "
+              "with `repro workers` and telemetry enabled)")
+
+
 def _cmd_query(args) -> int:
     import json
 
     from repro.harness.db import ExperimentStore
 
     with ExperimentStore(args.store) as store:
+        if args.quarantined:
+            rows = store.rows(status="failed")
+            _print_quarantined(rows)
+            return 0
         rows = store.rows(status=args.status)
         if args.app:
             rows = [r for r in rows if r.payload.get("app") == args.app]
@@ -476,6 +520,9 @@ def _cmd_query(args) -> int:
             want = _canon_scheduler(args.scheduler)
             rows = [r for r in rows
                     if r.payload.get("scheduler") == want]
+        if args.rollup:
+            _print_rollup(store, [r.key for r in rows])
+            return 0
         table = []
         payload_rows = []
         for row in rows[:args.limit]:
@@ -508,6 +555,41 @@ def _cmd_query(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload_rows, fh, sort_keys=True, indent=1)
         print(f"[written {args.json}]")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs.fleet import FleetView, render_top
+
+    frames = 0
+    with FleetView(args.store) as view:
+        while True:
+            frame = render_top(view.snapshot(
+                failures_limit=args.failures,
+                recent_window=args.window))
+            if frames and args.clear:
+                # ANSI clear + home keeps the dashboard in place.
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.fleet_report import write_report
+    from repro.harness.db import ExperimentStore
+
+    with ExperimentStore(args.store) as store:
+        written = write_report(store, args.out, bench_path=args.bench,
+                               title=f"sweep report — {args.store}")
+    for path in written:
+        print(f"[written {path}]")
+    print(f"open {args.out}/report.html in a browser; the merged trace "
+          "(if any) loads in https://ui.perfetto.dev")
     return 0
 
 
@@ -727,6 +809,16 @@ def main(argv=None) -> int:
                      help="stream store lifecycle events (lease / "
                           "heartbeat_miss / reclaim / quarantine) as "
                           "JSONL")
+    wrk.add_argument("--no-telemetry", action="store_true",
+                     help="skip per-cell telemetry shipping (bare "
+                          "pre-fleet drain)")
+    wrk.add_argument("--trace-dir", metavar="DIR",
+                     help="write one Chrome trace shard per cell here "
+                          "(merge with `repro report`)")
+    wrk.add_argument("--sample-interval", type=float, default=None,
+                     metavar="CYCLES",
+                     help="also sample queue depths every CYCLES "
+                          "simulated cycles into the telemetry")
 
     qry = sub.add_parser("query",
                          help="inspect an experiment store's rows and "
@@ -740,6 +832,40 @@ def main(argv=None) -> int:
                      help="rows shown (totals always cover everything)")
     qry.add_argument("--json", metavar="PATH",
                      help="also dump the matching rows as JSON")
+    qry.add_argument("--rollup", action="store_true",
+                     help="merge the matching cells' shipped telemetry "
+                          "into fleet-wide metric histograms")
+    qry.add_argument("--quarantined", action="store_true",
+                     help="print quarantined cells with their captured "
+                          "tracebacks")
+
+    topp = sub.add_parser("top",
+                          help="live dashboard over a store being "
+                               "drained (read-only; safe beside "
+                               "workers)")
+    topp.add_argument("store", help="SQLite store file to watch")
+    topp.add_argument("--interval", type=float, default=2.0,
+                      metavar="SECONDS", help="refresh period")
+    topp.add_argument("--iterations", type=int, default=0, metavar="N",
+                      help="frames to draw (0 = until interrupted)")
+    topp.add_argument("--failures", type=_positive_int, default=5,
+                      help="recent failures shown")
+    topp.add_argument("--window", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="trailing window for the fleet rate / ETA")
+    topp.add_argument("--no-clear", dest="clear", action="store_false",
+                      help="append frames instead of redrawing in place")
+
+    repo = sub.add_parser("report",
+                          help="static HTML/SVG sweep report + merged "
+                               "Chrome trace from a store's telemetry")
+    repo.add_argument("store", help="SQLite store file to report on")
+    repo.add_argument("--out", default="sweep_report", metavar="DIR",
+                      help="output directory (default sweep_report/)")
+    repo.add_argument("--bench", default="BENCH_kernel.json",
+                      metavar="PATH",
+                      help="kernel bench baseline for the perf-"
+                           "trajectory section (skipped if missing)")
 
     tunep = sub.add_parser("tune",
                            help="search scheduler knobs (offline tuning)")
@@ -831,6 +957,10 @@ def main(argv=None) -> int:
                 return _cmd_workers(args)
             if args.command == "query":
                 return _cmd_query(args)
+            if args.command == "top":
+                return _cmd_top(args)
+            if args.command == "report":
+                return _cmd_report(args)
             return _cmd_reproduce(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,6 +1,7 @@
 """Post-run analysis: traces, critical paths, timelines, exports."""
 
 from repro.analysis.critical_path import CriticalPath, critical_path
+from repro.analysis.fleet_report import sweep_report_html, write_report
 from repro.analysis.report import (
     experiment_to_csv,
     experiment_to_json,
@@ -26,6 +27,8 @@ __all__ = [
     "stats_to_dict",
     "stats_to_json",
     "steal_flow",
+    "sweep_report_html",
     "trace_to_json",
     "worker_occupancy",
+    "write_report",
 ]

@@ -43,6 +43,18 @@ Store lifecycle events (``store_lease``, ``store_heartbeat_miss``,
 :class:`~repro.obs.bus.EventBus` when one is attached via ``bus=``
 (standalone mode: wall-clock timestamps, no runtime required).
 
+Fleet observability (PR 7, ``repro.obs.fleet``): two more tables ride
+in the same file.  ``worker_status`` keeps one row per worker identity —
+state machine ``running -> idle | stopped | dead``, lifetime counters
+(cells done/failed, leases taken, heartbeat misses / reclaims /
+quarantines suffered) — updated inside the *same transactions* as the
+lease operations that cause them, so ``repro top`` reads a consistent
+live picture.  ``telemetry`` keeps one row per *completed* cell (obs
+metrics snapshot, fault stats, wall time, trace shard path), inserted
+by :meth:`ExperimentStore.complete` inside the lease-fenced ``done``
+transaction — a cell that completes exactly once ships telemetry
+exactly once, under any SIGKILL/restart schedule.
+
 Scope: one host, many processes.  SQLite's WAL journal keeps its write
 index in host-local shared memory (the ``-shm`` file ``mmap``-ed by
 every connection), so two *machines* mounting one store over NFS/SMB
@@ -56,6 +68,7 @@ server-backed queue (future work, see ROADMAP).
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import signal
@@ -100,6 +113,31 @@ CREATE TABLE IF NOT EXISTS experiments (
 );
 CREATE INDEX IF NOT EXISTS experiments_status
     ON experiments (status, created_at);
+CREATE TABLE IF NOT EXISTS telemetry (
+    key          TEXT PRIMARY KEY,
+    owner        TEXT NOT NULL,
+    attempt      INTEGER NOT NULL,
+    wall_seconds REAL NOT NULL,
+    finished_at  REAL NOT NULL,
+    trace_path   TEXT,
+    data         TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS worker_status (
+    owner            TEXT PRIMARY KEY,
+    host             TEXT,
+    pid              INTEGER,
+    state            TEXT NOT NULL DEFAULT 'idle'
+                     CHECK (state IN ('running','idle','stopped','dead')),
+    current_key      TEXT,
+    started_at       REAL NOT NULL,
+    last_seen        REAL NOT NULL,
+    cells_done       INTEGER NOT NULL DEFAULT 0,
+    cells_failed     INTEGER NOT NULL DEFAULT 0,
+    leases           INTEGER NOT NULL DEFAULT 0,
+    heartbeat_misses INTEGER NOT NULL DEFAULT 0,
+    reclaims         INTEGER NOT NULL DEFAULT 0,
+    quarantines      INTEGER NOT NULL DEFAULT 0
+);
 """
 
 
@@ -152,6 +190,46 @@ class StoreRow:
     error: Optional[str]
     created_at: float
     finished_at: Optional[float]
+
+
+@dataclass(frozen=True)
+class TelemetryRow:
+    """One shipped per-cell telemetry record (``repro query --rollup``)."""
+
+    key: str
+    owner: str
+    attempt: int
+    wall_seconds: float
+    finished_at: float
+    trace_path: Optional[str]
+    data: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class WorkerRow:
+    """One worker identity's live status and lifetime counters."""
+
+    owner: str
+    host: Optional[str]
+    pid: Optional[int]
+    state: str
+    current_key: Optional[str]
+    started_at: float
+    last_seen: float
+    cells_done: int
+    cells_failed: int
+    leases: int
+    heartbeat_misses: int
+    reclaims: int
+    quarantines: int
+
+
+def _owner_host_pid(owner: str):
+    """Best-effort ``(host, pid)`` split of a ``default_owner`` identity."""
+    parts = owner.split(":")
+    if len(parts) >= 2 and parts[1].isdigit():
+        return parts[0], int(parts[1])
+    return None, None
 
 
 class ExperimentStore:
@@ -300,6 +378,16 @@ class ExperimentStore:
                 "lease_owner = ?, lease_deadline = ?, heartbeat_at = ?, "
                 "attempts = attempts + 1 WHERE key = ?",
                 (owner, now + lease_seconds, now, row["key"]))
+            host, pid = _owner_host_pid(owner)
+            conn.execute(
+                "INSERT INTO worker_status (owner, host, pid, state, "
+                "current_key, started_at, last_seen, leases) "
+                "VALUES (?, ?, ?, 'running', ?, ?, ?, 1) "
+                "ON CONFLICT(owner) DO UPDATE SET state = 'running', "
+                "current_key = excluded.current_key, "
+                "last_seen = excluded.last_seen, "
+                "leases = worker_status.leases + 1",
+                (owner, host, pid, row["key"], now, now))
             return ClaimedRow(key=row["key"],
                               spec=pickle.loads(row["spec"]),
                               attempt=row["attempts"] + 1)
@@ -322,27 +410,61 @@ class ExperimentStore:
                 "heartbeat_at = ? WHERE key = ? AND status = 'leased' "
                 "AND lease_owner = ?",
                 (now + lease_seconds, now, key, owner))
+            if cur.rowcount == 1:
+                conn.execute(
+                    "UPDATE worker_status SET last_seen = ? "
+                    "WHERE owner = ?", (now, owner))
             return cur.rowcount == 1
 
         return self._txn(txn)
 
-    def complete(self, key: str, owner: str, result: object) -> bool:
+    def complete(self, key: str, owner: str, result: object,
+                 telemetry: Optional[Dict[str, object]] = None,
+                 trace_path: Optional[str] = None) -> bool:
         """Transactionally store ``result`` and mark the row ``done``.
 
         Fenced by the lease: a worker whose lease was reclaimed gets
         ``False`` and its result is discarded (the row is someone
         else's now), keeping ``done`` exactly-once.
+
+        ``telemetry`` (a JSON-safe dict, see
+        :func:`repro.obs.fleet.observe_run`) rides in the same fenced
+        transaction as the status flip, so the ``telemetry`` table gets
+        exactly one row per completed cell — a loser's telemetry is
+        discarded along with its result.
         """
         blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        tel_json = (None if telemetry is None else
+                    json.dumps(telemetry, sort_keys=True,
+                               separators=(",", ":")))
+        wall = (float(telemetry.get("wall_seconds", 0.0))
+                if telemetry else 0.0)
         now = self.clock()
 
         def txn(conn) -> bool:
-            cur = conn.execute(
+            row = conn.execute(
+                "SELECT attempts FROM experiments WHERE key = ? "
+                "AND status = 'leased' AND lease_owner = ?",
+                (key, owner)).fetchone()
+            if row is None:
+                return False
+            conn.execute(
                 "UPDATE experiments SET status = 'done', result = ?, "
                 "error = NULL, lease_owner = NULL, lease_deadline = NULL, "
-                "finished_at = ? WHERE key = ? AND status = 'leased' "
-                "AND lease_owner = ?", (blob, now, key, owner))
-            return cur.rowcount == 1
+                "finished_at = ? WHERE key = ?", (blob, now, key))
+            conn.execute(
+                "UPDATE worker_status SET state = 'idle', "
+                "current_key = NULL, last_seen = ?, "
+                "cells_done = cells_done + 1 WHERE owner = ?",
+                (now, owner))
+            if tel_json is not None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO telemetry (key, owner, "
+                    "attempt, wall_seconds, finished_at, trace_path, "
+                    "data) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (key, owner, row["attempts"], wall, now, trace_path,
+                     tel_json))
+            return True
 
         return self._txn(txn)
 
@@ -369,6 +491,12 @@ class ExperimentStore:
                 "lease_owner = NULL, lease_deadline = NULL, "
                 "finished_at = ? WHERE key = ?",
                 (status, error, now if status == "failed" else None, key))
+            conn.execute(
+                "UPDATE worker_status SET state = 'idle', "
+                "current_key = NULL, last_seen = ?, "
+                "cells_failed = cells_failed + 1, "
+                "quarantines = quarantines + ? WHERE owner = ?",
+                (now, 1 if status == "failed" else 0, owner))
             return status
 
         status = self._txn(txn)
@@ -382,6 +510,8 @@ class ExperimentStore:
         shutdown).  The attempt is refunded — an interrupt is not a
         strike against the cell."""
 
+        now = self.clock()
+
         def txn(conn) -> bool:
             cur = conn.execute(
                 "UPDATE experiments SET status = 'pending', "
@@ -389,6 +519,12 @@ class ExperimentStore:
                 "attempts = MAX(attempts - 1, 0) "
                 "WHERE key = ? AND status = 'leased' AND lease_owner = ?",
                 (key, owner))
+            if cur.rowcount == 1:
+                conn.execute(
+                    "UPDATE worker_status SET state = 'stopped', "
+                    "current_key = NULL, last_seen = ?, "
+                    "leases = MAX(leases - 1, 0) WHERE owner = ?",
+                    (now, owner))
             return cur.rowcount == 1
 
         return self._txn(txn)
@@ -415,7 +551,16 @@ class ExperimentStore:
                                dict(key=row["key"],
                                     owner=row["lease_owner"],
                                     overdue=round(overdue, 3))))
-                if row["attempts"] >= self.max_attempts:
+                poisoned = row["attempts"] >= self.max_attempts
+                conn.execute(
+                    "UPDATE worker_status SET state = 'dead', "
+                    "current_key = NULL, "
+                    "heartbeat_misses = heartbeat_misses + 1, "
+                    "reclaims = reclaims + ?, "
+                    "quarantines = quarantines + ? WHERE owner = ?",
+                    (0 if poisoned else 1, 1 if poisoned else 0,
+                     row["lease_owner"]))
+                if poisoned:
                     error = (f"lease expired after attempt "
                              f"{row['attempts']}/{self.max_attempts} "
                              f"(owner {row['lease_owner']} presumed dead)")
@@ -516,6 +661,65 @@ class ExperimentStore:
                          created_at=r["created_at"],
                          finished_at=r["finished_at"]) for r in rows]
 
+    def telemetry_rows(self,
+                       keys: Optional[Iterable[str]] = None
+                       ) -> List[TelemetryRow]:
+        """Shipped telemetry, completion-ordered; optionally filtered to
+        ``keys`` (e.g. the cells matching a ``repro query`` filter)."""
+        query = ("SELECT key, owner, attempt, wall_seconds, finished_at, "
+                 "trace_path, data FROM telemetry")
+        params: tuple = ()
+        if keys is not None:
+            keys = list(keys)
+            if not keys:
+                return []
+            marks = ",".join("?" * len(keys))
+            query += f" WHERE key IN ({marks})"
+            params = tuple(keys)
+        query += " ORDER BY finished_at, key"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [TelemetryRow(key=r["key"], owner=r["owner"],
+                             attempt=r["attempt"],
+                             wall_seconds=r["wall_seconds"],
+                             finished_at=r["finished_at"],
+                             trace_path=r["trace_path"],
+                             data=json.loads(r["data"]))
+                for r in rows]
+
+    def worker_rows(self) -> List[WorkerRow]:
+        """Every worker identity that ever touched this store."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM worker_status "
+                "ORDER BY started_at, owner").fetchall()
+        return [WorkerRow(owner=r["owner"], host=r["host"], pid=r["pid"],
+                          state=r["state"], current_key=r["current_key"],
+                          started_at=r["started_at"],
+                          last_seen=r["last_seen"],
+                          cells_done=r["cells_done"],
+                          cells_failed=r["cells_failed"],
+                          leases=r["leases"],
+                          heartbeat_misses=r["heartbeat_misses"],
+                          reclaims=r["reclaims"],
+                          quarantines=r["quarantines"]) for r in rows]
+
+    def retire(self, owner: str) -> None:
+        """Mark ``owner`` cleanly exited (drain loop finished/stopped).
+
+        Workers the reaper already declared ``dead`` stay dead — a
+        zombie's late retire must not cosmetically resurrect it.
+        """
+        now = self.clock()
+
+        def txn(conn) -> None:
+            conn.execute(
+                "UPDATE worker_status SET state = 'stopped', "
+                "current_key = NULL, last_seen = ? "
+                "WHERE owner = ? AND state != 'dead'", (now, owner))
+
+        self._txn(txn)
+
 
 def _last_line(text: str) -> str:
     lines = [ln for ln in (text or "").strip().splitlines() if ln.strip()]
@@ -541,13 +745,19 @@ def _heartbeat_loop(store: ExperimentStore, key: str, owner: str,
 
 
 def run_claimed(store: ExperimentStore, row: ClaimedRow, owner: str,
-                heartbeat_seconds: float, lease_seconds: float) -> bool:
+                heartbeat_seconds: float, lease_seconds: float,
+                fleet: Optional["object"] = None) -> bool:
     """Simulate one claimed cell, heartbeating throughout.
 
     Returns ``True`` iff this worker's result landed (the lease was
     still ours at commit time).  A simulation error is recorded via
     :meth:`ExperimentStore.fail` (retried or quarantined); an interrupt
     releases the lease and re-raises.
+
+    With a :class:`repro.obs.fleet.FleetTelemetry` config the run is
+    observed (metrics registry, optional trace shard) and the snapshot
+    ships in the *same* transaction as the done flip, so telemetry is
+    exactly-once alongside the result.
     """
     from repro.harness.parallel import simulate
 
@@ -558,8 +768,14 @@ def run_claimed(store: ExperimentStore, row: ClaimedRow, owner: str,
               stop),
         name=f"store-heartbeat-{row.key[:8]}", daemon=True)
     beat.start()
+    telemetry = trace_path = None
     try:
-        result = simulate(row.spec)
+        if fleet is not None and getattr(fleet, "enabled", False):
+            from repro.obs.fleet import observe_run
+            result, telemetry, trace_path = observe_run(
+                row.spec, row.key, owner, row.attempt, fleet)
+        else:
+            result = simulate(row.spec)
     except (KeyboardInterrupt, SystemExit):
         stop.set()
         beat.join()
@@ -572,7 +788,8 @@ def run_claimed(store: ExperimentStore, row: ClaimedRow, owner: str,
         return False
     stop.set()
     beat.join()
-    return store.complete(row.key, owner, result)
+    return store.complete(row.key, owner, result, telemetry=telemetry,
+                          trace_path=trace_path)
 
 
 def drain(store: ExperimentStore, owner: Optional[str] = None,
@@ -581,7 +798,7 @@ def drain(store: ExperimentStore, owner: Optional[str] = None,
           poll_seconds: float = 0.2,
           stop: Optional[threading.Event] = None,
           on_cell: Optional[Callable[[ClaimedRow, bool], None]] = None,
-          ) -> int:
+          fleet: Optional["object"] = None) -> int:
     """Pull-loop: claim, simulate, commit until the store has no open
     rows (or ``stop`` is set).  Any number of processes on the store's
     host may drain it concurrently (WAL does not span machines — see
@@ -591,8 +808,15 @@ def drain(store: ExperimentStore, owner: Optional[str] = None,
     reclaims expired leases, so a sweep whose workers all died resumes
     the moment any one worker restarts.  Returns the number of cells
     this call completed.
+
+    Telemetry ships by default (``fleet=None`` means a default-on
+    :class:`repro.obs.fleet.FleetTelemetry`); pass
+    ``FleetTelemetry(enabled=False)`` to opt out entirely.
     """
     owner = owner or default_owner()
+    if fleet is None:
+        from repro.obs.fleet import FleetTelemetry
+        fleet = FleetTelemetry()
     lease = (lease_seconds if lease_seconds is not None
              else max(heartbeat_seconds * 5.0, 1.0))
     if lease <= heartbeat_seconds:
@@ -609,10 +833,12 @@ def drain(store: ExperimentStore, owner: Optional[str] = None,
                 break
             stop.wait(poll_seconds)
             continue
-        landed = run_claimed(store, row, owner, heartbeat_seconds, lease)
+        landed = run_claimed(store, row, owner, heartbeat_seconds, lease,
+                             fleet=fleet)
         completed += landed
         if on_cell is not None:
             on_cell(row, landed)
+    store.retire(owner)
     return completed
 
 
@@ -645,7 +871,8 @@ def run_worker(path: str, owner: Optional[str] = None,
                heartbeat_seconds: float = 2.0,
                lease_seconds: Optional[float] = None,
                poll_seconds: float = 0.2,
-               max_attempts: int = 3) -> int:
+               max_attempts: int = 3,
+               fleet: Optional["object"] = None) -> int:
     """Process entry point: open ``path`` and :func:`drain` it.
 
     Picklable by construction so it works as a ``multiprocessing``
@@ -659,7 +886,8 @@ def run_worker(path: str, owner: Optional[str] = None,
             return drain(store, owner=owner,
                          heartbeat_seconds=heartbeat_seconds,
                          lease_seconds=lease_seconds,
-                         poll_seconds=poll_seconds)
+                         poll_seconds=poll_seconds,
+                         fleet=fleet)
     except KeyboardInterrupt:
         return 0  # lease already released by run_claimed
     finally:

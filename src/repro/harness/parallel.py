@@ -144,11 +144,16 @@ class RunSpec:
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
-def simulate(spec: RunSpec):
+def simulate(spec: RunSpec, bus=None):
     """Execute one :class:`RunSpec` in this process (pool entry point).
 
     Top-level (picklable) on purpose; builds a fresh app + scheduler +
     runtime, so runs are independent whichever process hosts them.
+
+    ``bus`` (an :class:`repro.obs.EventBus`, optional) attaches before
+    the run so fleet workers can observe without touching this hot path
+    for everyone else — with no bus the run is byte-identical to PR-2's
+    no-sink contract.
     """
     import time
 
@@ -165,6 +170,8 @@ def simulate(spec: RunSpec):
     if spec.fault_plan is not None:
         from repro.faults import FaultInjector
         FaultInjector(spec.fault_plan).attach(rt)
+    if bus is not None:
+        bus.attach(rt)
     t0 = time.perf_counter()
     stats = app.run(rt, validate=spec.validate)
     wall = time.perf_counter() - t0

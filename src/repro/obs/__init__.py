@@ -17,6 +17,14 @@ overhead contract.
 from repro.obs.bus import EventBus
 from repro.obs.diff import DiffRow, diff_snapshots, flatten, max_regression_pct
 from repro.obs.events import EVENT_SCHEMA, ObsEvent
+from repro.obs.fleet import (
+    FleetTelemetry,
+    FleetView,
+    merge_chrome_traces,
+    observe_run,
+    render_top,
+    rollup_histograms,
+)
 from repro.obs.metrics import (
     HISTOGRAM_NAMES,
     Histogram,
@@ -30,6 +38,8 @@ __all__ = [
     "DiffRow",
     "EVENT_SCHEMA",
     "EventBus",
+    "FleetTelemetry",
+    "FleetView",
     "HISTOGRAM_NAMES",
     "Histogram",
     "InMemorySink",
@@ -41,4 +51,8 @@ __all__ = [
     "diff_snapshots",
     "flatten",
     "max_regression_pct",
+    "merge_chrome_traces",
+    "observe_run",
+    "render_top",
+    "rollup_histograms",
 ]

@@ -1,0 +1,467 @@
+"""Fleet observability: per-run telemetry shipping, rollups, merged traces.
+
+``repro.obs`` (PR 2) instruments one process; the experiment store
+(PR 6) runs sweeps across many.  This module closes the gap — it is the
+glue between the two layers:
+
+- **Shipping** (:class:`FleetTelemetry`, :func:`observe_run`): a store
+  worker wraps each claimed cell's simulation in its own
+  :class:`~repro.obs.bus.EventBus` + :class:`MetricsRegistry` (and
+  optionally a per-cell :class:`ChromeTraceSink` shard), then hands the
+  serialized snapshot to :meth:`ExperimentStore.complete
+  <repro.harness.db.ExperimentStore.complete>` — the telemetry row is
+  written in the *same lease-fenced transaction* as the ``done`` status
+  flip, so telemetry is exactly-once even under SIGKILL/restart.  The
+  observed ``RunStats`` has its ``obs`` block stripped before the result
+  is pickled, keeping stored results byte-identical to bare serial runs
+  (the store-smoke differential enforces this).
+- **Rollups** (:func:`rollup_histograms`): per-run histogram snapshots
+  merge exactly (log₂ buckets are value-determined) into fleet-wide
+  distributions — the steal-latency aggregate of Gast et al.
+  (arXiv:1805.00857) over a whole campaign, via ``repro query --rollup``.
+- **Merged traces** (:func:`merge_chrome_traces`): per-cell Chrome trace
+  shards concatenate into one Perfetto file with one *process* row per
+  store worker and one thread lane per simulated (place, worker), cells
+  laid end to end on each worker's timeline.
+- **Live view** (:class:`FleetView`, :func:`render_top`): a read-only
+  WAL connection safe to point at a store other processes are actively
+  draining; backs the ``repro top`` dashboard (pending/leased/done/
+  failed, per-worker throughput and lease age, ETA, recent failures).
+
+Pay-for-what-you-use: none of this touches a run without a store, and
+``FleetTelemetry(enabled=False)`` restores the exact pre-fleet drain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.metrics import Histogram
+
+#: Worker states surfaced in ``worker_status`` rows / ``repro top``.
+WORKER_STATES = ("running", "idle", "stopped", "dead")
+
+
+@dataclass(frozen=True)
+class FleetTelemetry:
+    """What a store worker ships per completed cell.
+
+    The default ships metric histograms and counters (cheap: one
+    in-memory sink, no files); ``trace_dir`` additionally writes one
+    Chrome trace shard per cell for later merging; ``sample_interval``
+    (simulated cycles) turns on the bus's queue-depth sampler.
+    ``enabled=False`` is the bare pre-fleet drain — no bus is built and
+    the simulation path is byte-identical to PR-6 behaviour.
+    """
+
+    enabled: bool = True
+    sample_interval: Optional[float] = None
+    trace_dir: Optional[str] = None
+
+
+def shard_filename(owner: str, key: str) -> str:
+    """Filesystem-safe per-cell trace shard name (owner + cell key)."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "-", owner)
+    return f"{safe}--{key[:16]}.trace.json"
+
+
+def observe_run(spec, key: str, owner: str, attempt: int,
+                fleet: FleetTelemetry):
+    """Simulate one claimed cell under a private event bus.
+
+    Returns ``(result, telemetry, trace_path)``: the :class:`RunResult`
+    with its ``stats.obs`` block *stripped* (stored results must stay
+    byte-identical to unobserved serial runs), the JSON-safe telemetry
+    payload destined for the store's ``telemetry`` table, and the Chrome
+    trace shard path (``None`` unless ``fleet.trace_dir`` is set).
+    """
+    from repro.harness.parallel import simulate
+    from repro.obs.bus import EventBus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sinks import ChromeTraceSink
+
+    bus = EventBus(sample_interval=fleet.sample_interval)
+    bus.subscribe(MetricsRegistry())
+    trace_path = None
+    if fleet.trace_dir:
+        os.makedirs(fleet.trace_dir, exist_ok=True)
+        trace_path = os.path.join(fleet.trace_dir,
+                                  shard_filename(owner, key))
+        bus.subscribe(ChromeTraceSink(trace_path))
+    result = simulate(spec, bus=bus)
+    stats = result.stats
+    obs_snap = stats.obs
+    # Observation only adds the "obs" snapshot block (the zero-overhead
+    # contract pins every simulated metric); strip it so the pickled
+    # result matches a bare run byte for byte.
+    stats.obs = None
+    wall = result.wall_seconds
+    telemetry = {
+        "attempt": attempt,
+        "cache": {"hits": stats.cache_hits, "misses": stats.cache_misses},
+        "faults": (None if stats.faults is None
+                   else stats.faults.snapshot()),
+        "makespan_cycles": stats.makespan_cycles,
+        "obs": obs_snap,
+        "sims_per_sec": (1.0 / wall) if wall > 0 else 0.0,
+        "tasks_executed": stats.tasks_executed,
+        "wall_seconds": wall,
+    }
+    return result, telemetry, trace_path
+
+
+# ---------------------------------------------------------------------------
+# Sweep-wide rollups.
+
+def rollup_histograms(
+        snapshots: Iterable[Optional[Mapping]]) -> Dict[str, Histogram]:
+    """Merge per-run telemetry payloads into fleet-wide histograms.
+
+    Accepts the ``data`` dicts of telemetry rows (or raw run snapshots
+    carrying an ``obs.metrics.histograms`` block); rows without metrics
+    contribute nothing.  Counts and sums are exact: the rollup's count
+    per histogram equals the sum of the per-run counts.
+    """
+    merged: Dict[str, Histogram] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        obs = snap.get("obs") or {}
+        metrics = obs.get("metrics") or {}
+        for name, hsnap in (metrics.get("histograms") or {}).items():
+            hist = Histogram.from_snapshot(hsnap)
+            if name in merged:
+                merged[name].merge(hist)
+            else:
+                merged[name] = hist
+    return merged
+
+
+def rollup_rows(rollup: Dict[str, Histogram]) -> List[List[object]]:
+    """Table rows (name, count, mean, p0, p50, p90, p99, max) of a rollup."""
+    rows: List[List[object]] = []
+    for name in sorted(rollup):
+        h = rollup[name]
+        rows.append([name, h.count, round(h.mean, 1), h.min,
+                     h.percentile(0.5), h.percentile(0.9),
+                     h.percentile(0.99), h.max])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Merged Chrome traces.
+
+def merge_chrome_traces(shards: Sequence[Tuple[str, str]],
+                        out_path: Optional[str] = None,
+                        gap_us: float = 1000.0) -> Dict[str, object]:
+    """Merge per-cell Chrome trace shards into one Perfetto document.
+
+    ``shards`` is ``(owner, path)`` pairs in completion order.  Layout of
+    the merged trace: one *process* row per store worker (``pid`` =
+    first-seen owner index, named after the owner), one thread lane per
+    simulated ``(place, worker)`` pair, and each owner's cells laid end
+    to end along its timeline (every shard starts at its run's t=0, so
+    successive cells are offset by the previous cell's extent plus
+    ``gap_us``).  Counter tracks are suffixed with their source place so
+    they stay distinguishable after the pid remap.
+    """
+    owners: List[str] = []
+    by_owner: Dict[str, List[str]] = {}
+    for owner, path in shards:
+        if owner not in by_owner:
+            owners.append(owner)
+            by_owner[owner] = []
+        by_owner[owner].append(path)
+
+    merged: List[Dict[str, object]] = []
+    for pid, owner in enumerate(owners):
+        merged.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": f"worker {owner}"}})
+        merged.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"sort_index": pid}})
+        offset = 0.0
+        lanes: Dict[Tuple[int, int], int] = {}
+        for path in by_owner[owner]:
+            with open(path) as fh:
+                doc = json.load(fh)
+            extent = 0.0
+            for ev in doc.get("traceEvents", []):
+                ph = ev.get("ph")
+                if ph == "M":
+                    continue  # shard metadata is re-emitted per lane
+                src = (int(ev.get("pid", 0)), int(ev.get("tid", 0)))
+                tid = lanes.get(src)
+                if tid is None:
+                    tid = lanes[src] = len(lanes)
+                    merged.append({
+                        "name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid,
+                        "args": {"name": f"p{src[0]}.w{src[1]}"}})
+                    merged.append({
+                        "name": "thread_sort_index", "ph": "M", "pid": pid,
+                        "tid": tid,
+                        "args": {"sort_index": src[0] * 4096 + src[1]}})
+                out = dict(ev)
+                out["pid"] = pid
+                out["tid"] = tid
+                ts = float(ev.get("ts", 0.0)) + offset
+                out["ts"] = ts
+                if ph == "C":
+                    out["name"] = f"{ev.get('name', 'counter')} (p{src[0]})"
+                merged.append(out)
+                extent = max(extent, ts + float(ev.get("dur", 0.0)))
+            offset = extent + gap_us
+    doc = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(doc, fh)
+    return doc
+
+
+def store_trace_shards(store) -> List[Tuple[str, str]]:
+    """``(owner, shard_path)`` pairs of a store's telemetry, completion-
+    ordered, restricted to shards that still exist on disk."""
+    shards = []
+    for row in store.telemetry_rows():
+        if row.trace_path and os.path.exists(row.trace_path):
+            shards.append((row.owner, row.trace_path))
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# The live fleet view (read-only; safe beside active workers).
+
+@dataclass(frozen=True)
+class WorkerView:
+    """One ``worker_status`` row as ``repro top`` shows it."""
+
+    owner: str
+    state: str
+    current_key: Optional[str]
+    started_at: float
+    last_seen: float
+    cells_done: int
+    cells_failed: int
+    leases: int
+    heartbeat_misses: int
+    reclaims: int
+    quarantines: int
+
+    def throughput(self) -> float:
+        """Completed cells per second over this worker's lifetime."""
+        elapsed = self.last_seen - self.started_at
+        return self.cells_done / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class FailureView:
+    key: str
+    app: Optional[str]
+    scheduler: Optional[str]
+    attempts: int
+    error: str  # last line
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Everything one ``repro top`` refresh shows, read in one pass."""
+
+    path: str
+    now: float
+    counts: Dict[str, int]
+    workers: List[WorkerView] = field(default_factory=list)
+    failures: List[FailureView] = field(default_factory=list)
+    telemetry_runs: int = 0
+    mean_wall_seconds: float = 0.0
+    total_wall_seconds: float = 0.0
+    recent_done: int = 0  # cells finished in the last minute
+    recent_window: float = 60.0
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def open_cells(self) -> int:
+        return self.counts.get("pending", 0) + self.counts.get("leased", 0)
+
+    def active_workers(self) -> int:
+        return sum(1 for w in self.workers if w.state == "running")
+
+    def fleet_rate(self) -> float:
+        """Fleet cells/sec over the trailing window (0 when idle)."""
+        return self.recent_done / self.recent_window
+
+    def eta_seconds(self) -> Optional[float]:
+        """Naive drain ETA; ``None`` when it cannot be estimated."""
+        if not self.open_cells:
+            return 0.0
+        rate = self.fleet_rate()
+        if rate > 0:
+            return self.open_cells / rate
+        active = self.active_workers()
+        if self.mean_wall_seconds > 0 and active:
+            return self.open_cells * self.mean_wall_seconds / active
+        return None
+
+
+class FleetView:
+    """Read-only window onto a live experiment store.
+
+    Opens the SQLite file with ``mode=ro`` (WAL readers never block the
+    workers' writes, and a read-only connection cannot perturb the store
+    even by accident), falling back to a normal connection where the
+    read-only VFS path is unavailable.  Pre-fleet stores — no
+    ``telemetry``/``worker_status`` tables — degrade to counts-only
+    views instead of erroring.
+    """
+
+    def __init__(self, path: str, clock=time.time) -> None:
+        if not os.path.exists(path):
+            raise ConfigError(f"no store at {path}")
+        self.path = path
+        self.clock = clock
+        uri = f"file:{os.path.abspath(path)}?mode=ro"
+        try:
+            self._conn = sqlite3.connect(uri, uri=True, timeout=2.0)
+            self.readonly = True
+        except sqlite3.OperationalError:  # pragma: no cover - odd VFS
+            self._conn = sqlite3.connect(path, timeout=2.0)
+            self.readonly = False
+        self._conn.row_factory = sqlite3.Row
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "FleetView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _rows(self, query: str, params: tuple = ()) -> list:
+        """Run a read, treating missing tables (old stores) as empty."""
+        try:
+            return self._conn.execute(query, params).fetchall()
+        except sqlite3.OperationalError as exc:
+            if "no such table" in str(exc).lower():
+                return []
+            raise
+
+    def snapshot(self, failures_limit: int = 5,
+                 recent_window: float = 60.0) -> FleetSnapshot:
+        now = self.clock()
+        counts = {status: 0 for status in
+                  ("pending", "leased", "done", "failed")}
+        for row in self._rows("SELECT status, COUNT(*) AS n FROM "
+                              "experiments GROUP BY status"):
+            counts[row["status"]] = row["n"]
+        workers = [WorkerView(owner=r["owner"], state=r["state"],
+                              current_key=r["current_key"],
+                              started_at=r["started_at"],
+                              last_seen=r["last_seen"],
+                              cells_done=r["cells_done"],
+                              cells_failed=r["cells_failed"],
+                              leases=r["leases"],
+                              heartbeat_misses=r["heartbeat_misses"],
+                              reclaims=r["reclaims"],
+                              quarantines=r["quarantines"])
+                   for r in self._rows(
+                       "SELECT * FROM worker_status "
+                       "ORDER BY started_at, owner")]
+        failures = []
+        for r in self._rows(
+                "SELECT key, payload, attempts, error FROM experiments "
+                "WHERE status = 'failed' "
+                "ORDER BY COALESCE(finished_at, created_at) DESC, key "
+                "LIMIT ?", (failures_limit,)):
+            try:
+                payload = json.loads(r["payload"])
+            except (TypeError, ValueError):
+                payload = {}
+            lines = [ln for ln in (r["error"] or "").strip().splitlines()
+                     if ln.strip()]
+            failures.append(FailureView(
+                key=r["key"], app=payload.get("app"),
+                scheduler=payload.get("scheduler"),
+                attempts=r["attempts"],
+                error=lines[-1] if lines else "?"))
+        tel = self._rows("SELECT COUNT(*) AS n, "
+                         "COALESCE(SUM(wall_seconds), 0) AS wall "
+                         "FROM telemetry")
+        runs = tel[0]["n"] if tel else 0
+        wall = tel[0]["wall"] if tel else 0.0
+        recent = self._rows(
+            "SELECT COUNT(*) AS n FROM experiments WHERE status = 'done' "
+            "AND finished_at > ?", (now - recent_window,))
+        return FleetSnapshot(
+            path=self.path, now=now, counts=counts, workers=workers,
+            failures=failures, telemetry_runs=runs,
+            mean_wall_seconds=(wall / runs if runs else 0.0),
+            total_wall_seconds=wall,
+            recent_done=recent[0]["n"] if recent else 0,
+            recent_window=recent_window)
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    seconds = int(seconds)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h:d}:{m:02d}:{s:02d}"
+
+
+def _progress_bar(done: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(width * done / total)
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_top(snap: FleetSnapshot) -> str:
+    """One ``repro top`` frame as plain text (testable, pipe-friendly)."""
+    from repro.harness.tables import render_table
+
+    c = snap.counts
+    done = c.get("done", 0)
+    header = (f"repro top — {snap.path} — "
+              f"{time.strftime('%H:%M:%S', time.localtime(snap.now))}")
+    bar = (f"{_progress_bar(done + c.get('failed', 0), snap.total)} "
+           f"{done}/{snap.total} done · {c.get('leased', 0)} leased · "
+           f"{c.get('pending', 0)} pending · {c.get('failed', 0)} failed")
+    rate = snap.fleet_rate()
+    line = (f"fleet {rate:.2f} cells/s ({snap.recent_window:.0f}s window) "
+            f"· mean cell {snap.mean_wall_seconds:.2f}s "
+            f"· telemetry {snap.telemetry_runs} row(s) "
+            f"· ETA {_fmt_eta(snap.eta_seconds())}")
+    parts = [header, "", bar, line]
+    if snap.workers:
+        rows = []
+        for w in snap.workers:
+            age = max(0.0, snap.now - w.last_seen)
+            rows.append([
+                w.owner[:28], w.state,
+                (w.current_key or "")[:10] or "-",
+                w.cells_done, w.cells_failed, w.leases,
+                w.reclaims + w.quarantines,
+                f"{age:.1f}s", f"{w.throughput():.2f}"])
+        parts.append("")
+        parts.append(render_table(
+            ["owner", "state", "cell", "done", "fail", "leases",
+             "reclaimed", "lease age", "cells/s"], rows,
+            title=f"workers ({len(snap.workers)})"))
+    if snap.failures:
+        parts.append("")
+        parts.append("recent failures:")
+        for f in snap.failures:
+            parts.append(f"  {f.key[:12]} {f.app} x {f.scheduler} "
+                         f"(attempt {f.attempts}): {f.error}")
+    return "\n".join(parts)

@@ -77,9 +77,19 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Bucket-resolution percentile estimate, ``q`` in [0, 1]."""
+        """Bucket-resolution percentile estimate, ``q`` in [0, 1].
+
+        The extremes are exact: ``percentile(0.0)`` is the recorded
+        minimum (not the first occupied bucket's upper bound, which
+        over-reports it by up to an octave) and ``percentile(1.0)`` is
+        the recorded maximum.
+        """
         if not self.count:
             return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
         rank = q * self.count
         cum = 0
         for bound in sorted(self._buckets):
@@ -87,6 +97,45 @@ class Histogram:
             if cum >= rank:
                 return min(bound, self.max)
         return self.max
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (returns self).
+
+        Log₂ buckets are value-determined, so identical values land in
+        identical buckets in every process — merging is exact: bucket
+        counts add, and count/sum/min/max equal those of one histogram
+        fed both input streams.  This is what makes per-run telemetry
+        snapshots aggregable into fleet-wide distributions.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        for bound, n in other._buckets.items():
+            self._buckets[bound] = self._buckets.get(bound, 0) + n
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`snapshot` dict.
+
+        The snapshot carries exact count/sum/min/max and every bucket,
+        so ``from_snapshot(h.snapshot())`` is lossless — the round trip
+        is what lets archived telemetry rows merge into rollups.
+        """
+        h = cls()
+        h.count = int(snap["count"])  # type: ignore[arg-type]
+        h.total = float(snap["sum"])  # type: ignore[arg-type]
+        h.min = float(snap["min"])  # type: ignore[arg-type]
+        h.max = float(snap["max"])  # type: ignore[arg-type]
+        h._buckets = {float(bound): int(n)
+                      for bound, n in snap["buckets"]}  # type: ignore[union-attr]
+        return h
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-dict view, deterministically ordered."""
@@ -183,6 +232,22 @@ class MetricsRegistry(Sink):
             series = self.series[name] = TimeSeries(
                 self._series_max_points)
         series.record(t, value)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s histograms into this registry (returns self).
+
+        Histograms merge exactly (see :meth:`Histogram.merge`); names
+        missing on either side are unioned in.  Time series are *not*
+        merged — each series is stamped with its own run's simulated
+        clock, so concatenating them across runs would interleave
+        unrelated timelines; fleet rollups are distribution-shaped.
+        """
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+        return self
 
     # -- reporting ---------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:

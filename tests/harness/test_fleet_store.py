@@ -1,0 +1,255 @@
+"""Store-backed telemetry: exactly-once shipping + worker lifecycle.
+
+The fleet contract on top of PR 6's lease machinery:
+
+- every completed cell ships **exactly one** telemetry row, written in
+  the same fenced transaction as the ``done`` flip — losers of a lease
+  race (including SIGKILLed-and-reclaimed workers) ship nothing;
+- ``worker_status`` tracks each owner through
+  running → idle → stopped/dead with lifetime counters for leases,
+  reclaims, and quarantines;
+- shipping is on by default for store drains and fully removable
+  (``FleetTelemetry(enabled=False)`` leaves zero telemetry rows and
+  bare pre-fleet results).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+from repro.cluster.topology import ClusterSpec
+from repro.harness.db import ExperimentStore, drain, run_claimed
+from repro.harness.parallel import ExecutionContext, RunSpec
+from repro.obs.fleet import FleetTelemetry
+
+
+def tiny_spec():
+    return ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+
+
+def grid_specs():
+    return [RunSpec.build(app, sched, tiny_spec(), sched_seed=s,
+                          scale="test")
+            for app in ("uts",)
+            for sched in ("DistWS", "RandomWS")
+            for s in (1, 2)]
+
+
+def snapshot_bytes(results) -> bytes:
+    return json.dumps([json.dumps(r.stats.snapshot(), sort_keys=True)
+                       for r in results]).encode()
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTelemetryShipping:
+    def test_one_row_per_done_cell(self, tmp_path):
+        specs = grid_specs()
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(specs)
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5)
+        assert store.counts()["done"] == len(specs)
+        tel = store.telemetry_rows()
+        assert len(tel) == len(specs)
+        assert {t.key for t in tel} == {s.cache_key() for s in specs}
+        assert all(t.attempt == 1 and t.wall_seconds > 0 for t in tel)
+        store.close()
+
+    def test_stored_results_byte_identical_to_serial(self, tmp_path):
+        specs = grid_specs()
+        serial = ExecutionContext().run_specs(specs)
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(specs)
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5)
+        stored = [store.get_result(s.cache_key()) for s in specs]
+        assert snapshot_bytes(stored) == snapshot_bytes(serial)
+        assert all("obs" not in r.stats.snapshot() for r in stored)
+        store.close()
+
+    def test_disabled_fleet_ships_nothing(self, tmp_path):
+        specs = grid_specs()[:2]
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(specs)
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5,
+              fleet=FleetTelemetry(enabled=False))
+        assert store.counts()["done"] == len(specs)
+        assert store.telemetry_rows() == []
+        store.close()
+
+    def test_keys_filter(self, tmp_path):
+        specs = grid_specs()
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(specs)
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5)
+        want = [specs[0].cache_key(), specs[2].cache_key()]
+        assert {t.key for t in store.telemetry_rows(keys=want)} \
+            == set(want)
+        assert store.telemetry_rows(keys=[]) == []
+        store.close()
+
+    def test_failed_cells_ship_no_telemetry(self, tmp_path):
+        bad = RunSpec.build("uts", "DistWS", tiny_spec(), sched_seed=1,
+                            scale="test",
+                            app_overrides={"bogus_option": 1})
+        store = ExperimentStore(str(tmp_path / "s.db"), max_attempts=1)
+        store.add_specs([bad])
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5)
+        assert store.counts()["failed"] == 1
+        assert store.telemetry_rows() == []
+        store.close()
+
+
+class TestFencedTelemetry:
+    def test_reclaimed_workers_telemetry_discarded(self, tmp_path):
+        """Loser of a lease race writes neither result nor telemetry."""
+        clock = FakeClock()
+        store = ExperimentStore(str(tmp_path / "s.db"), clock=clock)
+        spec = grid_specs()[0]
+        store.add_specs([spec])
+
+        slow = store.claim("h:1:slow", lease_seconds=1.0)
+        clock.advance(5.0)  # slow's lease expires un-heartbeaten
+        assert store.reap() == [slow.key]
+        fast = store.claim("h:2:fast", lease_seconds=60.0)
+        assert fast is not None
+
+        from repro.obs.fleet import observe_run
+        result, tel_fast, _ = observe_run(
+            spec, fast.key, "h:2:fast", fast.attempt, FleetTelemetry())
+        assert store.complete(fast.key, "h:2:fast", result,
+                              telemetry=tel_fast)
+
+        # The zombie finishes late: fenced out entirely.
+        result2, tel_slow, _ = observe_run(
+            spec, slow.key, "h:1:slow", slow.attempt, FleetTelemetry())
+        assert not store.complete(slow.key, "h:1:slow", result2,
+                                  telemetry=tel_slow)
+
+        tel = store.telemetry_rows()
+        assert len(tel) == 1
+        assert tel[0].owner == "h:2:fast" and tel[0].attempt == 2
+        store.close()
+
+
+class TestWorkerLifecycle:
+    def test_claim_complete_retire_states(self, tmp_path):
+        clock = FakeClock()
+        store = ExperimentStore(str(tmp_path / "s.db"), clock=clock)
+        store.add_specs(grid_specs()[:2])
+
+        row = store.claim("h:1:a", lease_seconds=60.0)
+        (w,) = store.worker_rows()
+        assert w.state == "running" and w.current_key == row.key
+        assert w.host == "h" and w.pid == 1 and w.leases == 1
+
+        assert run_claimed(store, row, "h:1:a", heartbeat_seconds=5.0,
+                           lease_seconds=60.0, fleet=FleetTelemetry())
+        (w,) = store.worker_rows()
+        assert w.state == "idle" and w.current_key is None
+        assert w.cells_done == 1
+
+        store.retire("h:1:a")
+        (w,) = store.worker_rows()
+        assert w.state == "stopped"
+        store.close()
+
+    def test_reap_marks_owner_dead_and_counts_reclaim(self, tmp_path):
+        clock = FakeClock()
+        store = ExperimentStore(str(tmp_path / "s.db"), clock=clock)
+        store.add_specs(grid_specs()[:1])
+        store.claim("h:1:dead", lease_seconds=1.0)
+        clock.advance(5.0)
+        assert len(store.reap()) == 1
+        (w,) = store.worker_rows()
+        assert w.state == "dead"
+        assert w.heartbeat_misses == 1 and w.reclaims == 1
+        # A zombie's late retire must not resurrect it.
+        store.retire("h:1:dead")
+        (w,) = store.worker_rows()
+        assert w.state == "dead"
+        store.close()
+
+    def test_reap_past_max_attempts_counts_quarantine(self, tmp_path):
+        clock = FakeClock()
+        store = ExperimentStore(str(tmp_path / "s.db"), clock=clock,
+                                max_attempts=1)
+        store.add_specs(grid_specs()[:1])
+        store.claim("h:1:dead", lease_seconds=1.0)
+        clock.advance(5.0)
+        store.reap()
+        (w,) = store.worker_rows()
+        assert w.quarantines == 1 and w.reclaims == 0
+        assert store.counts()["failed"] == 1
+        store.close()
+
+    def test_release_returns_worker_to_stopped(self, tmp_path):
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(grid_specs()[:1])
+        row = store.claim("h:1:a", lease_seconds=60.0)
+        assert store.release(row.key, "h:1:a")
+        (w,) = store.worker_rows()
+        assert w.state == "stopped" and w.leases == 0
+        store.close()
+
+    def test_drain_retires_its_owner(self, tmp_path):
+        store = ExperimentStore(str(tmp_path / "s.db"))
+        store.add_specs(grid_specs()[:1])
+        drain(store, owner="h:1:a", heartbeat_seconds=0.5)
+        (w,) = store.worker_rows()
+        assert w.state == "stopped" and w.cells_done == 1
+        store.close()
+
+
+def _drain_until_killed(path: str) -> None:
+    store = ExperimentStore(path)
+    drain(store, heartbeat_seconds=0.1, lease_seconds=0.6,
+          poll_seconds=0.05)
+
+
+def test_sigkill_restart_keeps_telemetry_exactly_once(tmp_path):
+    """A worker SIGKILLed mid-sweep and a resumed drain leave exactly
+    one telemetry row per done cell — the reclaimed attempt's shipment
+    rides the fenced complete, so nothing doubles up."""
+    specs = grid_specs()
+    path = str(tmp_path / "s.db")
+    store = ExperimentStore(path)
+    store.add_specs(specs)
+
+    victim = mp.Process(target=_drain_until_killed, args=(path,))
+    victim.start()
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        counts = store.counts()
+        if counts["done"] >= 1:
+            break
+        time.sleep(0.02)
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=30)
+    assert victim.exitcode == -signal.SIGKILL
+
+    time.sleep(0.7)  # let any orphaned lease expire
+    drain(store, owner="h:9:resume", heartbeat_seconds=0.1,
+          lease_seconds=1.0)
+
+    counts = store.counts()
+    assert counts["done"] == len(specs)
+    tel = store.telemetry_rows()
+    assert len(tel) == len(specs)  # exactly one row per cell
+    assert {t.key for t in tel} == {s.cache_key() for s in specs}
+    # Each telemetry row's attempt matches the row that won the cell.
+    attempts = {r.key: r.attempts for r in store.rows()}
+    assert all(t.attempt == attempts[t.key] for t in tel)
+    store.close()

@@ -1,0 +1,285 @@
+"""Fleet observability: shipping, rollups, merged traces, the live view."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigError
+from repro.harness.db import ExperimentStore, drain
+from repro.harness.parallel import RunSpec, simulate
+from repro.obs.fleet import (
+    FleetSnapshot,
+    FleetTelemetry,
+    FleetView,
+    WorkerView,
+    merge_chrome_traces,
+    observe_run,
+    render_top,
+    rollup_histograms,
+    rollup_rows,
+    shard_filename,
+    store_trace_shards,
+)
+
+
+def tiny_spec():
+    return ClusterSpec(n_places=2, workers_per_place=2, max_threads=4)
+
+
+def specs(n=2):
+    return [RunSpec.build("uts", "DistWS", tiny_spec(), sched_seed=s,
+                          scale="test") for s in range(1, n + 1)]
+
+
+class TestObserveRun:
+    def test_result_byte_identical_to_bare_run(self):
+        spec = specs(1)[0]
+        result, telemetry, trace_path = observe_run(
+            spec, spec.cache_key(), "h:1:w", 1, FleetTelemetry())
+        bare = simulate(spec)
+        assert (json.dumps(result.stats.snapshot(), sort_keys=True)
+                == json.dumps(bare.stats.snapshot(), sort_keys=True))
+        assert "obs" not in result.stats.snapshot()
+        assert trace_path is None
+
+    def test_telemetry_payload_shape(self):
+        spec = specs(1)[0]
+        _, telemetry, _ = observe_run(
+            spec, spec.cache_key(), "h:1:w", 2, FleetTelemetry())
+        assert telemetry["attempt"] == 2
+        assert telemetry["wall_seconds"] > 0
+        assert telemetry["sims_per_sec"] > 0
+        hists = telemetry["obs"]["metrics"]["histograms"]
+        assert hists["task_granularity_cycles"]["count"] \
+            == telemetry["tasks_executed"]
+        # JSON-safe end to end (what the store serializes).
+        json.dumps(telemetry, sort_keys=True)
+
+    def test_trace_dir_writes_shard(self, tmp_path):
+        spec = specs(1)[0]
+        fleet = FleetTelemetry(trace_dir=str(tmp_path / "traces"))
+        _, _, trace_path = observe_run(
+            spec, spec.cache_key(), "h:1:w", 1, fleet)
+        assert trace_path is not None and os.path.exists(trace_path)
+        doc = json.load(open(trace_path))
+        assert doc["traceEvents"]
+
+    def test_shard_filename_sanitizes_owner(self):
+        name = shard_filename("host:12:ab/cd", "f" * 64)
+        assert "/" not in name and ":" not in name
+        assert name.endswith(".trace.json")
+
+
+class TestRollup:
+    def test_counts_add_across_runs(self):
+        payloads = []
+        for spec in specs(3):
+            _, telemetry, _ = observe_run(
+                spec, spec.cache_key(), "h:1:w", 1, FleetTelemetry())
+            payloads.append(telemetry)
+        rollup = rollup_histograms(payloads)
+        for name, hist in rollup.items():
+            per_run = sum(
+                p["obs"]["metrics"]["histograms"][name]["count"]
+                for p in payloads)
+            assert hist.count == per_run
+        assert rollup["task_granularity_cycles"].count > 0
+
+    def test_rows_and_empty_payloads_skipped(self):
+        rollup = rollup_histograms([None, {}, {"obs": None},
+                                    {"obs": {"metrics": None}}])
+        assert rollup == {}
+        assert rollup_rows(rollup) == []
+
+
+def shard(path, pid, tid, ts, dur, name="task"):
+    doc = {"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": f"place {pid}"}},
+        {"name": name, "ph": "X", "pid": pid, "tid": tid, "ts": ts,
+         "dur": dur, "cat": "task", "args": {}},
+        {"name": "queue", "ph": "C", "pid": pid, "tid": 0, "ts": ts,
+         "args": {"depth": 1}},
+    ]}
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return str(path)
+
+
+class TestMergeChromeTraces:
+    def test_one_process_row_per_worker(self, tmp_path):
+        shards = [
+            ("w1", shard(tmp_path / "a.json", 0, 0, 0.0, 100.0)),
+            ("w2", shard(tmp_path / "b.json", 0, 1, 0.0, 50.0)),
+            ("w1", shard(tmp_path / "c.json", 1, 0, 0.0, 70.0)),
+        ]
+        doc = merge_chrome_traces(shards)
+        names = [e for e in doc["traceEvents"]
+                 if e.get("name") == "process_name"]
+        assert {e["args"]["name"] for e in names} \
+            == {"worker w1", "worker w2"}
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+
+    def test_cells_laid_end_to_end(self, tmp_path):
+        shards = [
+            ("w1", shard(tmp_path / "a.json", 0, 0, 0.0, 100.0)),
+            ("w1", shard(tmp_path / "b.json", 0, 0, 0.0, 40.0)),
+        ]
+        doc = merge_chrome_traces(shards, gap_us=10.0)
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert xs[0]["ts"] == 0.0
+        # Second cell starts after the first's extent plus the gap.
+        assert xs[1]["ts"] == pytest.approx(110.0)
+
+    def test_lanes_and_counters_keep_place_identity(self, tmp_path):
+        shards = [
+            ("w1", shard(tmp_path / "a.json", 0, 0, 0.0, 10.0)),
+            ("w1", shard(tmp_path / "b.json", 1, 2, 0.0, 10.0)),
+        ]
+        doc = merge_chrome_traces(shards)
+        threads = {e["args"]["name"] for e in doc["traceEvents"]
+                   if e.get("name") == "thread_name"}
+        assert {"p0.w0", "p1.w2"} <= threads
+        counters = {e["name"] for e in doc["traceEvents"]
+                    if e.get("ph") == "C"}
+        assert counters == {"queue (p0)", "queue (p1)"}
+
+    def test_writes_valid_json(self, tmp_path):
+        shards = [("w1", shard(tmp_path / "a.json", 0, 0, 0.0, 10.0))]
+        out = tmp_path / "merged.json"
+        merge_chrome_traces(shards, out_path=str(out))
+        doc = json.load(open(out))
+        assert doc["displayTimeUnit"] == "ms"
+
+
+def drained_store(tmp_path, fleet=None, n=2):
+    path = str(tmp_path / "store.db")
+    store = ExperimentStore(path)
+    store.add_specs(specs(n))
+    drain(store, owner="host:9:aa", heartbeat_seconds=0.5, fleet=fleet)
+    return store, path
+
+
+class TestStoreIntegration:
+    def test_trace_shards_from_store(self, tmp_path):
+        fleet = FleetTelemetry(trace_dir=str(tmp_path / "traces"))
+        store, _ = drained_store(tmp_path, fleet=fleet)
+        shards = store_trace_shards(store)
+        assert len(shards) == 2
+        assert all(owner == "host:9:aa" for owner, _ in shards)
+        store.close()
+
+    def test_missing_shard_files_skipped(self, tmp_path):
+        fleet = FleetTelemetry(trace_dir=str(tmp_path / "traces"))
+        store, _ = drained_store(tmp_path, fleet=fleet)
+        for _, path in store_trace_shards(store):
+            os.unlink(path)
+        assert store_trace_shards(store) == []
+        store.close()
+
+
+class TestFleetView:
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            FleetView(str(tmp_path / "nope.db"))
+
+    def test_snapshot_of_drained_store(self, tmp_path):
+        store, path = drained_store(tmp_path)
+        store.close()
+        with FleetView(path) as view:
+            snap = view.snapshot()
+        assert snap.counts["done"] == 2
+        assert snap.open_cells == 0
+        assert snap.telemetry_runs == 2
+        assert snap.mean_wall_seconds > 0
+        assert len(snap.workers) == 1
+        w = snap.workers[0]
+        assert w.owner == "host:9:aa"
+        assert w.state == "stopped" and w.cells_done == 2
+        assert snap.eta_seconds() == 0.0
+
+    def test_readonly_connection_cannot_write(self, tmp_path):
+        store, path = drained_store(tmp_path)
+        store.close()
+        view = FleetView(path)
+        assert view.readonly
+        with pytest.raises(Exception):
+            view._conn.execute("DELETE FROM experiments")
+        view.close()
+
+    def test_pre_fleet_store_degrades_to_counts(self, tmp_path):
+        store, path = drained_store(tmp_path)
+        with store._lock:
+            store._conn.execute("DROP TABLE telemetry")
+            store._conn.execute("DROP TABLE worker_status")
+            store._conn.commit()
+        store.close()
+        with FleetView(path) as view:
+            snap = view.snapshot()
+        assert snap.counts["done"] == 2
+        assert snap.workers == [] and snap.telemetry_runs == 0
+
+    def test_failure_views_carry_last_error_line(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        store = ExperimentStore(path, max_attempts=1)
+        store.add_specs([RunSpec.build(
+            "uts", "DistWS", tiny_spec(), sched_seed=1, scale="test",
+            app_overrides={"bogus_option": 1})])
+        drain(store, owner="host:9:aa", heartbeat_seconds=0.5)
+        store.close()
+        with FleetView(path) as view:
+            snap = view.snapshot()
+        assert snap.counts["failed"] == 1
+        assert len(snap.failures) == 1
+        assert snap.failures[0].error  # last traceback line, non-empty
+
+
+class TestRenderTop:
+    def make_snapshot(self, **kw):
+        defaults = dict(
+            path="s.db", now=1000.0,
+            counts={"pending": 3, "leased": 1, "done": 5, "failed": 1},
+            workers=[WorkerView(
+                owner="host:1:aa", state="running", current_key="k" * 20,
+                started_at=900.0, last_seen=999.0, cells_done=5,
+                cells_failed=1, leases=6, heartbeat_misses=0, reclaims=1,
+                quarantines=0)],
+            failures=[], telemetry_runs=5, mean_wall_seconds=0.5,
+            total_wall_seconds=2.5, recent_done=5, recent_window=60.0)
+        defaults.update(kw)
+        return FleetSnapshot(**defaults)
+
+    def test_frame_contains_counts_workers_eta(self):
+        frame = render_top(self.make_snapshot())
+        assert "5/10 done" in frame
+        assert "1 leased" in frame and "3 pending" in frame
+        assert "host:1:aa" in frame and "running" in frame
+        assert "ETA" in frame
+
+    def test_eta_uses_recent_rate(self):
+        snap = self.make_snapshot()
+        # 5 done in 60s -> 4 open cells / (5/60) = 48s.
+        assert snap.fleet_rate() == pytest.approx(5 / 60)
+        assert snap.eta_seconds() == pytest.approx(48.0)
+
+    def test_eta_falls_back_to_mean_wall(self):
+        snap = self.make_snapshot(recent_done=0)
+        # 4 open cells * 0.5s mean / 1 active worker.
+        assert snap.eta_seconds() == pytest.approx(2.0)
+
+    def test_eta_unknown_without_signal(self):
+        snap = self.make_snapshot(recent_done=0, mean_wall_seconds=0.0)
+        assert snap.eta_seconds() is None
+        assert "ETA ?" in render_top(snap)
+
+    def test_empty_store_renders(self):
+        snap = self.make_snapshot(
+            counts={"pending": 0, "leased": 0, "done": 0, "failed": 0},
+            workers=[], telemetry_runs=0, mean_wall_seconds=0.0,
+            total_wall_seconds=0.0, recent_done=0)
+        frame = render_top(snap)
+        assert "0/0 done" in frame

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.topology import ClusterSpec
 from repro.obs import (
@@ -61,6 +63,96 @@ class TestHistogram:
         assert h.percentile(0.99) == 900
         assert h.percentile(0.01) <= h.percentile(0.99)
 
+    def test_percentile_extremes_are_exact(self):
+        # Regression: p0 used to report the first occupied bucket's
+        # upper bound (an octave above the true minimum).
+        h = Histogram()
+        for v in (3, 40, 500):
+            h.record(v)
+        assert h.percentile(0.0) == 3
+        assert h.percentile(1.0) == 500
+        # Out-of-range quantiles clamp to the same exact extremes.
+        assert h.percentile(-0.5) == 3
+        assert h.percentile(1.5) == 500
+
+    def test_percentiles_monotone_in_q(self):
+        h = Histogram()
+        for v in (1, 2, 4, 8, 16, 900):
+            h.record(v)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        ps = [h.percentile(q) for q in qs]
+        assert ps == sorted(ps)
+        assert ps[0] == h.min and ps[-1] == h.max
+
+
+def histogram_from(values):
+    h = Histogram()
+    for v in values:
+        h.record(v)
+    return h
+
+
+# Integer-valued floats keep count/sum/min/max bit-exact under any
+# merge order (float addition is associative on exactly-representable
+# integers of this size).
+hist_values = st.lists(
+    st.integers(min_value=-(2 ** 20), max_value=2 ** 20).map(float),
+    max_size=40)
+
+
+class TestHistogramMerge:
+    def test_merge_empty_is_identity(self):
+        h = histogram_from([5, 9])
+        before = h.snapshot()
+        h.merge(Histogram())
+        assert h.snapshot() == before
+        e = Histogram()
+        e.merge(h)
+        assert e.snapshot() == h.snapshot()
+
+    def test_merge_returns_self(self):
+        h = Histogram()
+        assert h.merge(histogram_from([1])) is h
+
+    def test_from_snapshot_roundtrip(self):
+        h = histogram_from([3, 40, 500, -2, 0])
+        rebuilt = Histogram.from_snapshot(h.snapshot())
+        assert rebuilt.snapshot() == h.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=hist_values, b=hist_values)
+    def test_merge_matches_single_stream(self, a, b):
+        merged = histogram_from(a).merge(histogram_from(b))
+        combined = histogram_from(a + b)
+        assert merged.snapshot() == combined.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=hist_values, b=hist_values)
+    def test_merge_commutative(self, a, b):
+        ab = histogram_from(a).merge(histogram_from(b))
+        ba = histogram_from(b).merge(histogram_from(a))
+        assert ab.snapshot() == ba.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=hist_values, b=hist_values, c=hist_values)
+    def test_merge_associative(self, a, b, c):
+        left = histogram_from(a).merge(
+            histogram_from(b).merge(histogram_from(c)))
+        right = histogram_from(a).merge(
+            histogram_from(b)).merge(histogram_from(c))
+        assert left.snapshot() == right.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=hist_values, b=hist_values)
+    def test_merge_count_sum_min_max_exact(self, a, b):
+        merged = histogram_from(a).merge(histogram_from(b))
+        both = a + b
+        assert merged.count == len(both)
+        assert merged.total == sum(both)
+        if both:
+            assert merged.min == min(both)
+            assert merged.max == max(both)
+
 
 class TestTimeSeries:
     def test_records_in_order(self):
@@ -86,6 +178,43 @@ class TestTimeSeries:
                 s.record(float(i), float(i % 7))
             return s.snapshot()
         assert fill() == fill()
+
+    def test_stride_doubles_exactly_at_max_points(self):
+        s = TimeSeries(max_points=16)
+        for i in range(15):
+            s.record(float(i), 0.0)
+        # One short of the cap: everything retained, stride untouched.
+        assert len(s.points) == 15 and s._stride == 1
+        s.record(15.0, 0.0)
+        # Hitting the cap halves the stored points and doubles the
+        # input stride in the same record call.
+        assert len(s.points) == 8 and s._stride == 2
+        assert [t for t, _ in s.points] == [float(i)
+                                            for i in range(0, 16, 2)]
+
+    def test_post_decimation_points_align_with_stride(self):
+        s = TimeSeries(max_points=16)
+        for i in range(64):
+            s.record(float(i), float(i))
+        # Every retained timestamp is a multiple of the final stride.
+        assert s._stride > 1
+        assert all(t % s._stride == 0 for t, _ in s.points)
+
+    def test_equal_streams_retain_identical_points(self):
+        def fill(n, cap):
+            s = TimeSeries(max_points=cap)
+            for i in range(n):
+                s.record(float(i) * 0.5, float(i % 11))
+            return s.snapshot()
+        for n in (15, 16, 17, 31, 32, 33, 1000):
+            assert fill(n, 16) == fill(n, 16)
+
+    def test_min_cap_floor(self):
+        s = TimeSeries(max_points=1)  # floors to 8
+        assert s.max_points == 8
+        for i in range(100):
+            s.record(float(i), 1.0)
+        assert len(s.points) < 8
 
 
 def observed_run():
@@ -136,6 +265,31 @@ class TestMetricsRegistry:
         _, stats = observed_run()
         block = stats.snapshot()["obs"]["metrics"]
         assert set(block) == {"histograms", "series"}
+
+    def test_merge_adds_histograms_not_series(self):
+        a, _ = observed_run()
+        b, _ = observed_run()
+        expect = {name: a.histograms[name].count + b.histograms[name].count
+                  for name in HISTOGRAM_NAMES}
+        series_before = {name: s.snapshot()
+                         for name, s in a.series.items()}
+        assert a.merge(b) is a
+        for name in HISTOGRAM_NAMES:
+            assert a.histograms[name].count == expect[name]
+        # Series carry per-run simulated clocks; merging must not
+        # interleave them.
+        assert {name: s.snapshot()
+                for name, s in a.series.items()} == series_before
+
+    def test_merge_unions_unknown_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        extra = Histogram()
+        extra.record(7)
+        b.histograms["custom"] = extra
+        a.merge(b)
+        assert a.histograms["custom"].count == 1
+        assert a.histograms["custom"] is not extra
 
 
 class TestDiff:

@@ -367,3 +367,112 @@ class TestStoreCli:
         assert "21 cells simulated here, 21 done total" in first
         # Identical artifact either way; second run re-simulates nothing.
         assert "0 cells simulated here, 21 done total" in second
+
+
+class TestFleetCli:
+    """Fleet observability subcommands: top, report, query rollups."""
+
+    def _drained_store(self, tmp_path, capsys, trace_dir=None):
+        store = str(tmp_path / "grid.sqlite")
+        assert main(["enqueue", "--store", store, "--app", "uts",
+                     "--scheduler", "DistWS", "--places", "2",
+                     "--workers", "2", "--seeds", "2",
+                     "--scale", "test"]) == 0
+        argv = ["workers", "--store", store, "--heartbeat", "0.2"]
+        if trace_dir:
+            argv += ["--trace-dir", trace_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        return store
+
+    def test_top_single_frame(self, capsys, tmp_path):
+        store = self._drained_store(tmp_path, capsys)
+        assert main(["top", store, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "2/2 done" in out
+        assert "ETA" in out and "owner" in out
+
+    def test_top_missing_store_is_config_error(self, capsys, tmp_path):
+        code = main(["top", str(tmp_path / "nope.db"),
+                     "--iterations", "1"])
+        assert code == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_query_rollup(self, capsys, tmp_path):
+        store = self._drained_store(tmp_path, capsys)
+        assert main(["query", "--store", store, "--rollup"]) == 0
+        out = capsys.readouterr().out
+        assert "rollup over 2 telemetry row(s)" in out
+        assert "steal_latency_cycles" in out
+
+    def test_query_rollup_respects_filters(self, capsys, tmp_path):
+        store = self._drained_store(tmp_path, capsys)
+        assert main(["query", "--store", store, "--rollup",
+                     "--scheduler", "RandomWS"]) == 0
+        out = capsys.readouterr().out
+        assert "rollup over 0 telemetry row(s)" in out
+        assert "no telemetry shipped" in out
+
+    def test_query_quarantined_prints_tracebacks(self, capsys, tmp_path):
+        from repro.cluster.topology import ClusterSpec
+        from repro.harness.db import ExperimentStore
+        from repro.harness.parallel import RunSpec
+
+        store = str(tmp_path / "grid.sqlite")
+        spec = ClusterSpec(n_places=2, workers_per_place=2,
+                           max_threads=4)
+        poison = RunSpec.build("uts", "DistWS", spec, scale="test",
+                               app_overrides={"no_such_parameter": 1})
+        with ExperimentStore(store) as s:
+            s.add_specs([poison])
+        main(["workers", "--store", store, "--heartbeat", "0.2",
+              "--max-attempts", "1"])
+        capsys.readouterr()
+        assert main(["query", "--store", store, "--quarantined"]) == 0
+        out = capsys.readouterr().out
+        assert "Traceback" in out and "no_such_parameter" in out
+
+    def test_query_quarantined_empty(self, capsys, tmp_path):
+        store = self._drained_store(tmp_path, capsys)
+        assert main(["query", "--store", store, "--quarantined"]) == 0
+        assert "no quarantined cells" in capsys.readouterr().out
+
+    def test_workers_no_telemetry_ships_nothing(self, capsys, tmp_path):
+        from repro.harness.db import ExperimentStore
+
+        store = str(tmp_path / "grid.sqlite")
+        assert main(["enqueue", "--store", store, "--app", "uts",
+                     "--scheduler", "DistWS", "--places", "2",
+                     "--workers", "2", "--seeds", "1",
+                     "--scale", "test"]) == 0
+        assert main(["workers", "--store", store, "--heartbeat", "0.2",
+                     "--no-telemetry"]) == 0
+        capsys.readouterr()
+        with ExperimentStore(store) as s:
+            assert s.counts()["done"] == 1
+            assert s.telemetry_rows() == []
+
+    def test_report_writes_html_and_merged_trace(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        store = self._drained_store(tmp_path, capsys,
+                                    trace_dir=trace_dir)
+        out_dir = str(tmp_path / "report")
+        assert main(["report", store, "--out", out_dir]) == 0
+        printed = capsys.readouterr().out
+        assert "report.html" in printed
+        html = open(f"{out_dir}/report.html").read()
+        assert "<svg" in html and "Throughput timeline" in html
+        assert "steal_latency_cycles" in html
+        merged = json.load(open(f"{out_dir}/merged.trace.json"))
+        assert merged["traceEvents"]
+
+    def test_report_without_traces_still_writes_html(self, capsys,
+                                                     tmp_path):
+        store = self._drained_store(tmp_path, capsys)
+        out_dir = str(tmp_path / "report")
+        assert main(["report", store, "--out", out_dir]) == 0
+        capsys.readouterr()
+        import os
+        assert os.path.exists(f"{out_dir}/report.html")
+        assert not os.path.exists(f"{out_dir}/merged.trace.json")
