@@ -20,6 +20,9 @@ Subcommands:
   ``--quarantined`` prints poisoned cells with their tracebacks);
 - ``top`` — live dashboard over a store being drained (read-only);
 - ``report`` — static HTML/SVG sweep report + merged Chrome trace;
+- ``theory`` — sweep the steal latency λ and validate measured
+  makespans against the ``W/p + c·λ·log₂W`` work-stealing bound
+  (SVG figure + JSON verdict);
 - ``list`` — what's available.
 """
 
@@ -212,6 +215,57 @@ def _cmd_tune(args) -> int:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"[report written to {args.json}]")
+    return 0
+
+
+def _cmd_theory(args) -> int:
+    import os
+
+    from repro.analysis.theory import (
+        LAMBDA_GRID_FULL,
+        LAMBDA_GRID_QUICK,
+        run_theory_sweep,
+    )
+    from repro.harness import execution
+
+    spec = ClusterSpec(n_places=args.places,
+                       workers_per_place=args.workers,
+                       max_threads=args.workers + 4)
+    apps = args.app or ["uts"]
+    schedulers = [_canon_scheduler(s)
+                  for s in (args.scheduler or ["RandomWS", "DistWS"])]
+    if args.lambdas:
+        lambdas = tuple(args.lambdas)
+    else:
+        lambdas = LAMBDA_GRID_QUICK if args.quick else LAMBDA_GRID_FULL
+    seeds = tuple(range(1, args.seeds + 1))
+    with execution(parallel=args.parallel, cache_dir=args.cache_dir,
+                   store_path=args.store) as ctx:
+        report = run_theory_sweep(
+            apps=apps, schedulers=schedulers, spec=spec,
+            lambdas=lambdas, sched_seeds=seeds, scale=args.scale,
+            app_seed=args.seed)
+        print(report.rendered())
+        if args.cache_dir:
+            print(f"\n[{ctx.simulations} simulations, "
+                  f"{ctx.cache.hits} cache hits, "
+                  f"{ctx.cache.stores} stored in {args.cache_dir}]")
+    os.makedirs(args.out, exist_ok=True)
+    verdict_path = os.path.join(args.out, "theory_verdict.json")
+    with open(verdict_path, "w") as fh:
+        fh.write(report.to_json())
+        fh.write("\n")
+    written = [verdict_path]
+    for app in report.apps:
+        fig_path = os.path.join(args.out, f"theory_{app}.svg")
+        with open(fig_path, "w") as fh:
+            fh.write(report.figure(app))
+        written.append(fig_path)
+    print("\n[written: " + ", ".join(written) + "]")
+    if not report.verdict()["lower_bound_holds"]:
+        print("error: a measured makespan beat the W/p lower bound "
+              "(simulator physics bug)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -912,6 +966,47 @@ def main(argv=None) -> int:
     tunep.add_argument("--json", metavar="PATH",
                        help="write the full report as JSON")
 
+    theoryp = sub.add_parser("theory",
+                             help="validate makespans against the "
+                                  "W/p + c*lambda*log2(W) latency bound")
+    theoryp.add_argument("--app", action="append",
+                         choices=sorted(APP_REGISTRY), metavar="APP",
+                         help="application(s) to sweep (repeatable; "
+                              "default uts)")
+    theoryp.add_argument("--scheduler", action="append", metavar="SCHED",
+                         help="scheduler(s) to fit (repeatable, "
+                              "case-insensitive; default RandomWS + "
+                              "DistWS)")
+    theoryp.add_argument("--places", type=int, default=4)
+    theoryp.add_argument("--workers", type=int, default=2)
+    theoryp.add_argument("--seeds", type=_positive_int, default=5,
+                         metavar="N",
+                         help="scheduler seeds per lambda point "
+                              "(mean taken; default 5)")
+    theoryp.add_argument("--seed", type=int, default=12345,
+                         help="application input seed")
+    theoryp.add_argument("--scale", default="test",
+                         choices=("bench", "test"))
+    theoryp.add_argument("--quick", action="store_true",
+                         help="small 4-point lambda grid (CI smoke)")
+    theoryp.add_argument("--lambda", dest="lambdas", action="append",
+                         type=float, metavar="CYCLES",
+                         help="explicit net_latency grid point in "
+                              "cycles (repeatable; overrides --quick; "
+                              "must exceed the local-steal cost)")
+    theoryp.add_argument("--out", metavar="DIR", default=".",
+                         help="write theory_<app>.svg + "
+                              "theory_verdict.json here (default: cwd)")
+    theoryp.add_argument("--parallel", type=_positive_int, default=1,
+                         metavar="N",
+                         help="shard the lambda grid over N processes")
+    theoryp.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed result cache; repeated "
+                              "sweeps replay finished cells")
+    theoryp.add_argument("--store", metavar="PATH",
+                         help="route the sweep through a durable "
+                              "experiment store (SQLite job queue)")
+
     benchp = sub.add_parser("bench",
                             help="kernel performance benchmark "
                                  "(wall-clock / events-per-sec grid)")
@@ -961,6 +1056,8 @@ def main(argv=None) -> int:
                 return _cmd_top(args)
             if args.command == "report":
                 return _cmd_report(args)
+            if args.command == "theory":
+                return _cmd_theory(args)
             return _cmd_reproduce(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -10,19 +10,33 @@ from repro.analysis.report import (
     trace_to_json,
 )
 from repro.analysis.svg import grouped_bar_chart, line_chart
+from repro.analysis.theory import (
+    LAMBDA_GRID_FULL,
+    LAMBDA_GRID_QUICK,
+    LatencyFit,
+    TheoryReport,
+    fit_latency_model,
+    run_theory_sweep,
+)
 from repro.analysis.timeline import place_timeline, steal_flow, worker_occupancy
 from repro.analysis.trace import TaskRecord, Trace, TraceRecorder
 
 __all__ = [
     "CriticalPath",
+    "LAMBDA_GRID_FULL",
+    "LAMBDA_GRID_QUICK",
+    "LatencyFit",
     "TaskRecord",
+    "TheoryReport",
     "Trace",
     "TraceRecorder",
     "critical_path",
     "experiment_to_csv",
     "experiment_to_json",
+    "fit_latency_model",
     "grouped_bar_chart",
     "line_chart",
+    "run_theory_sweep",
     "place_timeline",
     "stats_to_dict",
     "stats_to_json",

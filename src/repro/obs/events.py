@@ -29,7 +29,13 @@ Steal paths (scheduler):
     ``steal_miss``    — a distributed steal resolved empty (empty deque,
                         exhausted retries, or dead victim);
     ``chunk_arrive``  — a stolen chunk landed at the thief
-                        (``latency`` = request-send → chunk-arrival).
+                        (``latency`` = request-send → chunk-arrival);
+    ``steal_cancel``  — a concurrent steal attempt (MultiStealWS) was
+                        withdrawn because a sibling request claimed work
+                        first, or the thief's place died mid-flight;
+    ``radius_fallback`` — a LocalizedWS worker exhausted
+                        ``radius_strikes`` consecutive in-radius rounds
+                        and ran one unrestricted global round.
 
 Mailbox:
     ``mailbox_put``  — a task closure was deposited in a place's mailbox;
@@ -89,6 +95,8 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "steal_request": ("place", "worker", "victim"),
     "steal_miss": ("place", "worker", "victim"),
     "chunk_arrive": ("place", "worker", "victim", "tasks", "latency"),
+    "steal_cancel": ("place", "worker", "victim"),
+    "radius_fallback": ("place", "worker", "strikes"),
     "mailbox_put": ("place", "task"),
     "mailbox_get": ("place", "worker", "task"),
     "msg_send": ("src", "dst", "kind", "bytes", "packets", "latency"),

@@ -5,15 +5,21 @@
 - :class:`X10WS` — X10 2.2 baseline (intra-place only);
 - :class:`DistWSNS` — non-selective control (round-robin deque mapping);
 - :class:`RandomWS` — unorganized randomized distributed stealing;
-- :class:`LifelineWS` — lifeline-graph load balancing (UTS comparator).
+- :class:`LifelineWS` — lifeline-graph load balancing (UTS comparator);
+- :class:`StealHalfWS` — steal-half chunks (ceil of half the victim deque);
+- :class:`MultiStealWS` — k concurrent steal requests, first-success-wins;
+- :class:`LocalizedWS` — bounded steal radius with strike-based fallback.
 """
 
 from repro.sched.adaptive import AdaptiveDistWS
-from repro.sched.base import Scheduler
+from repro.sched.base import Scheduler, StealToken
 from repro.sched.distws import DistWS
 from repro.sched.distws_ns import DistWSNS
 from repro.sched.lifeline import LifelineWS, lifeline_graph
+from repro.sched.localized import LocalizedWS
+from repro.sched.multisteal import MultiStealWS
 from repro.sched.randomws import RandomWS
+from repro.sched.stealhalf import StealHalfWS
 from repro.sched.x10ws import X10WS
 
 #: Registry used by the harness and CLI entry points.
@@ -24,6 +30,9 @@ SCHEDULERS = {
     "RandomWS": RandomWS,
     "Lifeline": LifelineWS,
     "AdaptiveDistWS": AdaptiveDistWS,
+    "StealHalfWS": StealHalfWS,
+    "MultiStealWS": MultiStealWS,
+    "LocalizedWS": LocalizedWS,
 }
 
 
@@ -42,9 +51,13 @@ __all__ = [
     "DistWS",
     "DistWSNS",
     "LifelineWS",
+    "LocalizedWS",
+    "MultiStealWS",
     "RandomWS",
     "SCHEDULERS",
     "Scheduler",
+    "StealHalfWS",
+    "StealToken",
     "X10WS",
     "lifeline_graph",
     "make_scheduler",

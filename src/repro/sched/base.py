@@ -33,6 +33,30 @@ if TYPE_CHECKING:  # pragma: no cover
 FindWork = Generator[Event, object, Optional[Task]]
 
 
+class StealToken:
+    """First-success-wins token shared by concurrent steal attempts.
+
+    :class:`~repro.sched.multisteal.MultiStealWS` launches several remote
+    take attempts at once; the first attempt to pull a non-empty chunk
+    calls :meth:`claim`, and every other attempt observes
+    :meth:`cancelled` at its own take point and withdraws empty-handed.
+    The check → take → claim run happens in one synchronous step of the
+    single-threaded engine (no yield in between), so at most one attempt
+    sharing a token ever acquires work.
+    """
+
+    __slots__ = ("claimed",)
+
+    def __init__(self) -> None:
+        self.claimed = False
+
+    def cancelled(self) -> bool:
+        return self.claimed
+
+    def claim(self) -> None:
+        self.claimed = True
+
+
 class Scheduler(ABC):
     """Base class for all work-stealing policies."""
 
@@ -286,8 +310,64 @@ class Scheduler(ABC):
                 return task
         return None
 
-    def _attempt_remote_steal(self, worker: "Worker", pj: int) -> FindWork:
+    def _chunk_request(self, shared) -> int:
+        """How many tasks one distributed steal asks the victim for.
+
+        Called at the take point, with the victim's shared deque locked,
+        so steal-half policies can size the request against the deque's
+        instantaneous length.  The default is the fixed paper chunk.
+        """
+        return self.remote_chunk_size
+
+    def _take_locked(self, worker: "Worker", victim,
+                     cancel: Optional[StealToken]):
+        """Take a chunk under the victim's (held) shared-deque lock.
+
+        Returns ``(chunk, cancelled)``.  With a :class:`StealToken`, the
+        cancellation check, the take, and the claim form one synchronous
+        step, so concurrent attempts sharing the token can never
+        double-claim: the winner claims before any sibling's check runs.
+        The winner also parks the chunk on ``worker.pending_chunk``
+        immediately so a crash of the thief's place between the take and
+        the ship relocates the tasks instead of losing them.
+        """
+        rt = self.rt
+        if cancel is not None and (cancel.cancelled() or worker.place.dead):
+            return [], True
+        chunk = victim.shared.take_chunk(
+            self._chunk_request(victim.shared), remote=True)
+        if chunk and cancel is not None:
+            cancel.claim()
+            worker.pending_chunk = chunk
+        if len(victim.shared) == 0:
+            rt.board.retract(victim.place_id)
+        return chunk, False
+
+    def _emit_cancel(self, worker: "Worker", pj: int) -> None:
+        if self.rt.obs is not None:
+            self.rt.obs.emit("steal_cancel", place=worker.place.place_id,
+                             worker=worker.worker_index, victim=pj)
+
+    def _attempt_remote_steal(self, worker: "Worker", pj: int,
+                              cancel: Optional[StealToken] = None) -> FindWork:
         """One distributed steal attempt on victim ``pj`` (reliable net)."""
+        got = yield from self._remote_take(worker, pj, cancel)
+        if got is None:
+            return None
+        chunk, request_time = got
+        task = yield from self._ship_chunk_home(worker, pj, chunk,
+                                                request_time=request_time)
+        return task
+
+    def _remote_take(self, worker: "Worker", pj: int,
+                     cancel: Optional[StealToken] = None) -> FindWork:
+        """Request/lock/take phase of a reliable-network distributed steal.
+
+        Returns ``(chunk, request_time)`` on a hit, ``None`` on a miss or
+        cancellation; shipping the chunk home is the caller's job, so
+        multi-steal helpers can run several takes concurrently while the
+        thief itself performs the single ship.
+        """
         rt = self.rt
         env = rt.env
         costs = rt.costs
@@ -308,12 +388,12 @@ class Scheduler(ABC):
         try:
             yield env.sleep(costs.remote_steal_service)
             worker.charge_overhead(costs.remote_steal_service)
-            chunk = victim.shared.take_chunk(
-                self.remote_chunk_size, remote=True)
-            if len(victim.shared) == 0:
-                rt.board.retract(pj)
+            chunk, cancelled = self._take_locked(worker, victim, cancel)
         finally:
             victim.shared.lock.release()
+        if cancelled:
+            self._emit_cancel(worker, pj)
+            return None
         if not chunk:
             yield env.sleep(rt.network.send(
                 pj, home.place_id, 64, MSG_STEAL_REPLY))
@@ -323,12 +403,11 @@ class Scheduler(ABC):
             self._note_steal_result(worker, False,
                                     env.now - request_time, 0)
             return None
-        task = yield from self._ship_chunk_home(worker, pj, chunk,
-                                                request_time=request_time)
-        return task
+        return chunk, request_time
 
-    def _attempt_remote_steal_faulty(self, worker: "Worker",
-                                     pj: int) -> FindWork:
+    def _attempt_remote_steal_faulty(self, worker: "Worker", pj: int,
+                                     cancel: Optional[StealToken] = None,
+                                     ) -> FindWork:
         """One distributed steal attempt under fault injection.
 
         The request travels unreliably: a drop (or a crashed victim)
@@ -337,6 +416,22 @@ class Scheduler(ABC):
         unresponsive is blacklisted (``victim_blacklist_cycles``,
         doubling per consecutive strike) so subsequent rounds skip it
         until the entry decays; a successful steal resets the strikes.
+        """
+        got = yield from self._remote_take_faulty(worker, pj, cancel)
+        if got is None:
+            return None
+        chunk, request_time = got
+        task = yield from self._ship_chunk_home(worker, pj, chunk,
+                                                request_time=request_time)
+        return task
+
+    def _remote_take_faulty(self, worker: "Worker", pj: int,
+                            cancel: Optional[StealToken] = None) -> FindWork:
+        """Request/retry/take phase of a steal under fault injection.
+
+        Same contract as :meth:`_remote_take`; additionally re-checks the
+        cancellation token before every (re)send so a losing multi-steal
+        helper stops burning retries once a sibling has claimed work.
         """
         rt = self.rt
         env = rt.env
@@ -350,6 +445,10 @@ class Scheduler(ABC):
         backoff = costs.steal_retry_backoff
         request_time: Optional[float] = None
         while True:
+            if cancel is not None and (cancel.cancelled()
+                                       or worker.place.dead):
+                self._emit_cancel(worker, pj)
+                return None
             if rt.faults.is_dead(pj):
                 self._blacklist_victim(pj)
                 if obs is not None and request_time is not None:
@@ -394,12 +493,12 @@ class Scheduler(ABC):
             worker.charge_overhead(costs.remote_steal_service)
             # A victim that crashed while the request was in flight has
             # had its deques drained; the chunk simply comes up empty.
-            chunk = victim.shared.take_chunk(
-                self.remote_chunk_size, remote=True)
-            if len(victim.shared) == 0:
-                rt.board.retract(pj)
+            chunk, cancelled = self._take_locked(worker, victim, cancel)
         finally:
             victim.shared.lock.release()
+        if cancelled:
+            self._emit_cancel(worker, pj)
+            return None
         if not chunk:
             latency, delivered = rt.network.send_unreliable(
                 pj, home.place_id, 64, MSG_STEAL_REPLY)
@@ -417,9 +516,7 @@ class Scheduler(ABC):
                                     env.now - request_time, 0)
             return None
         self._note_steal_success(pj)
-        task = yield from self._ship_chunk_home(worker, pj, chunk,
-                                                request_time=request_time)
-        return task
+        return chunk, request_time
 
     def _ship_chunk_home(self, worker: "Worker", pj: int,
                          chunk: List[Task],

@@ -217,6 +217,44 @@ SCHEDULER_KNOBS: Dict[str, Tuple[Knob, ...]] = {
              grid=(1, 2, 4),
              doc="random steal attempts before quiescing on lifelines"),
     ),
+    "StealHalfWS": _base_knobs() + (
+        Knob("victim_order", "categorical", default="random",
+             choices=("random", "nearest"),
+             doc="distributed victim traversal order (§I footnote 2)"),
+        Knob("underutil_threshold", "int", default=None, lo=1, hi=64,
+             grid=(2, 4, 8, 16),
+             doc="size(p) bound under which flexible tasks stay on "
+                 "private deques (auto: cluster max_threads, Alg. 1 l.5)"),
+        Knob("shared_fifo", "bool", default=True,
+             doc="steal the oldest (FIFO) shared-deque tasks instead of "
+                 "the newest (§V-B2 ablation)"),
+    ),
+    "MultiStealWS": _distws_knobs() + (
+        Knob("shared_fifo", "bool", default=True,
+             doc="steal the oldest (FIFO) shared-deque task instead of "
+                 "the newest (§V-B2 ablation)"),
+        Knob("steal_width", "int", default=2, lo=1, hi=8,
+             grid=(2, 3, 4),
+             doc="steal requests simultaneously in flight per thief "
+                 "(first success wins, losers cancelled)"),
+    ),
+    "LocalizedWS": _base_knobs() + (
+        Knob("remote_chunk_size", "int", default=2, lo=1, hi=16,
+             grid=(1, 2, 4, 8),
+             doc="tasks taken per successful distributed steal (§V-B3)"),
+        Knob("underutil_threshold", "int", default=None, lo=1, hi=64,
+             grid=(2, 4, 8, 16),
+             doc="size(p) bound under which flexible tasks stay on "
+                 "private deques (auto: cluster max_threads, Alg. 1 l.5)"),
+        Knob("steal_radius", "int", default=2, lo=1, hi=32,
+             grid=(1, 2, 4),
+             doc="maximum hop distance of a regular-round steal victim "
+                 "(Suksompong-style localized stealing)"),
+        Knob("radius_strikes", "int", default=3, lo=1, hi=16,
+             grid=(1, 3, 5),
+             doc="consecutive failed local rounds before one "
+                 "unrestricted global round"),
+    ),
     "AdaptiveDistWS": _distws_knobs() + (
         Knob("min_work", "float", default=400_000.0, lo=50_000.0,
              hi=2_000_000.0, log=True,

@@ -57,15 +57,18 @@ def task_graphs(draw):
     return spec, tasks
 
 
-def run_graph(spec, tasks, sched_name, seed):
+def run_graph(spec, tasks, sched_name, seed, scheduler=None):
     """Execute a drawn graph; returns ``(runtime, trace)``.
 
     ``trace`` records ``(task_id, home, executed_place, flexible)`` per
     body execution — a child's home is its spawn-time place (the place
     its parent was executing at), so the selectivity and steal checks
-    apply to the whole graph, not just the roots.
+    apply to the whole graph, not just the roots.  ``scheduler`` lets a
+    test pass a pre-built (possibly instrumented) policy instance.
     """
-    rt = SimRuntime(spec, make_scheduler(sched_name), seed=seed)
+    if scheduler is None:
+        scheduler = make_scheduler(sched_name)
+    rt = SimRuntime(spec, scheduler, seed=seed)
     trace = []
 
     def program(runtime):
@@ -100,7 +103,8 @@ class TestSelectivity:
     @settings(max_examples=70, **PROPERTY_SETTINGS)
     @given(graph=task_graphs(),
            sched_name=st.sampled_from(["DistWS", "X10WS", "RandomWS",
-                                       "Lifeline"]),
+                                       "Lifeline", "StealHalfWS",
+                                       "MultiStealWS", "LocalizedWS"]),
            seed=st.integers(min_value=0, max_value=10_000))
     def test_sensitive_tasks_never_leave_home(self, graph, sched_name,
                                               seed):
@@ -119,7 +123,8 @@ class TestSelectivity:
 class TestStealDiscipline:
     @settings(max_examples=60, **PROPERTY_SETTINGS)
     @given(graph=task_graphs(),
-           sched_name=st.sampled_from(["DistWS", "RandomWS", "Lifeline"]),
+           sched_name=st.sampled_from(["DistWS", "RandomWS", "Lifeline",
+                                       "MultiStealWS", "LocalizedWS"]),
            seed=st.integers(min_value=0, max_value=10_000))
     def test_remote_steals_take_fifo_oldest_chunk_from_shared(
             self, graph, sched_name, seed):
@@ -197,6 +202,147 @@ class TestStealDiscipline:
         assert rt.stats.tasks_executed_remote == len(executed_off_home)
 
 
+class TestStealHalfContract:
+    @settings(max_examples=40, **PROPERTY_SETTINGS)
+    @given(graph=task_graphs(),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_remote_takes_exactly_ceil_half(self, graph, seed):
+        """Every StealHalfWS distributed take asks for — and receives —
+        exactly ``ceil(n/2)`` of the victim deque's ``n`` tasks, oldest
+        first, measured under the victim's lock at the take instant."""
+        spec, tasks = graph
+        violations = []
+        remote_takes = []
+        original_chunk = SharedDeque.take_chunk
+
+        def checked_chunk(self, n, remote):
+            before = list(self._items)
+            chunk = original_chunk(self, n, remote)
+            if remote:
+                want = -(-len(before) // 2)
+                if n != want:
+                    violations.append(
+                        f"requested {n} from a deque of {len(before)}, "
+                        f"expected ceil half = {want}")
+                if len(chunk) != want:
+                    violations.append(
+                        f"took {len(chunk)} from a deque of "
+                        f"{len(before)}, expected {want}")
+                if chunk != before[:len(chunk)]:
+                    violations.append("chunk was not the FIFO-oldest half")
+                remote_takes.append(len(chunk))
+            return chunk
+
+        SharedDeque.take_chunk = checked_chunk
+        try:
+            rt, trace = run_graph(spec, tasks, "StealHalfWS", seed)
+        finally:
+            SharedDeque.take_chunk = original_chunk
+        assert not violations, violations
+        expected = len(tasks) + sum(t[3] for t in tasks)
+        assert len(trace) == expected
+        assert rt.stats.steals.remote_tasks_received == sum(remote_takes)
+
+
+class TestMultiStealContract:
+    @settings(max_examples=40, **PROPERTY_SETTINGS)
+    @given(graph=task_graphs(),
+           steal_width=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_no_double_claim_across_in_flight_requests(self, graph,
+                                                       steal_width, seed):
+        """Concurrent in-flight requests never double-deliver: each
+        round's token is claimed at most once, and no task is ever taken
+        remotely twice."""
+        spec, tasks = graph
+        from repro.sched import MultiStealWS, StealToken
+
+        class CountingToken(StealToken):
+            __slots__ = ("claims",)
+
+            def __init__(self):
+                super().__init__()
+                self.claims = 0
+
+            def claim(self):
+                self.claims += 1
+                super().claim()
+
+        tokens = []
+        sched = make_scheduler("MultiStealWS", steal_width=steal_width)
+        assert isinstance(sched, MultiStealWS)
+
+        def make_token():
+            token = CountingToken()
+            tokens.append(token)
+            return token
+
+        sched._make_token = make_token
+        taken = []
+        original_chunk = SharedDeque.take_chunk
+
+        def recording_chunk(self, n, remote):
+            chunk = original_chunk(self, n, remote)
+            if remote:
+                taken.extend(t.task_id for t in chunk)
+            return chunk
+
+        SharedDeque.take_chunk = recording_chunk
+        try:
+            rt, trace = run_graph(spec, tasks, "MultiStealWS", seed,
+                                  scheduler=sched)
+        finally:
+            SharedDeque.take_chunk = original_chunk
+        assert len(taken) == len(set(taken)), (
+            "a task was delivered by two in-flight steal requests")
+        assert all(token.claims <= 1 for token in tokens), (
+            "one steal round claimed work twice")
+        expected = len(tasks) + sum(t[3] for t in tasks)
+        assert len(trace) == expected
+        assert rt.stats.steals.remote_tasks_received == len(taken)
+
+
+class TestLocalizedContract:
+    @settings(max_examples=40, **PROPERTY_SETTINGS)
+    @given(graph=task_graphs(),
+           radius_strikes=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_never_probes_beyond_radius_before_strikes(self, graph,
+                                                       radius_strikes,
+                                                       seed):
+        """On a ring, radius-1 rounds only visit hop-1 neighbours until
+        ``radius_strikes`` consecutive local failures ran up; every
+        wider round is an earned global fallback."""
+        _spec, tasks = graph
+        spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4,
+                           topology="ring")
+        tasks = [(home % spec.n_places, flexible, work, n_children)
+                 for home, flexible, work, n_children in tasks]
+        sched = make_scheduler("LocalizedWS", steal_radius=1,
+                               radius_strikes=radius_strikes)
+        rounds = []
+        original_round = sched._steal_remote
+
+        def recording_round(worker, order):
+            rounds.append((worker.place.place_id,
+                           sched._strikes.get(worker.wid, 0), list(order)))
+            return original_round(worker, order)
+
+        sched._steal_remote = recording_round
+        rt, trace = run_graph(spec, tasks, "LocalizedWS", seed,
+                              scheduler=sched)
+        assert len(trace) == len(tasks) + sum(t[3] for t in tasks)
+        for place, strikes, order in rounds:
+            beyond = [pj for pj in order
+                      if spec.hop_distance(place, pj) > 1]
+            if beyond:
+                assert strikes >= radius_strikes, (
+                    f"place {place} probed beyond the radius "
+                    f"({beyond}) after only {strikes} strikes")
+            else:
+                assert strikes < radius_strikes
+
+
 @st.composite
 def fault_runs(draw):
     """A random fan-out workload plus a random (valid) fault plan."""
@@ -235,15 +381,18 @@ def fault_runs(draw):
 
 class TestExactlyOnceUnderFaults:
     @settings(max_examples=80, **PROPERTY_SETTINGS)
-    @given(case=fault_runs())
-    def test_every_task_completes_exactly_once(self, case):
+    @given(case=fault_runs(),
+           sched_name=st.sampled_from(["DistWS", "StealHalfWS",
+                                       "MultiStealWS", "LocalizedWS"]))
+    def test_every_task_completes_exactly_once(self, case, sched_name):
         """Random crash/loss/spike/straggler plans never lose or double-
-        execute a task (relax policy: orphaned sensitive tasks degrade)."""
+        execute a task (relax policy: orphaned sensitive tasks degrade),
+        for the paper's scheduler and all three steal variants."""
         n_places, n_tasks, flexible_mask, plan, sched_seed = case
         plan.validate(n_places)
         spec = ClusterSpec(n_places=n_places, workers_per_place=2,
                            max_threads=4)
-        rt = SimRuntime(spec, make_scheduler("DistWS"), seed=sched_seed)
+        rt = SimRuntime(spec, make_scheduler(sched_name), seed=sched_seed)
         FaultInjector(plan).attach(rt)
         executed = []
 

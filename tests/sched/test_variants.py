@@ -1,0 +1,90 @@
+"""Golden-snapshot regression for the steal-variant schedulers.
+
+Two halves of the registry-growth contract:
+
+- the *existing* schedulers must stay byte-identical after StealHalfWS /
+  MultiStealWS / LocalizedWS are registered — that is pinned by
+  ``tests/sim/test_kernel_fastpath.py`` against its pre-existing golden
+  file, which runs in the same tree as the new registrations (named RNG
+  streams make new policies unable to perturb old draws);
+- the new schedulers themselves must stay deterministic from PR to PR —
+  pinned here by ``golden_variant_snapshots.json``, captured at
+  introduction time with the same harness (4 places x 2 workers,
+  ``scale="test"``, app seed 12345) as the kernel goldens.
+
+Regenerate deliberately after an intentional physics change::
+
+    PYTHONPATH=src python -c "from tests.sched.test_variants import \
+regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.apps import make_app
+from repro.cluster.topology import ClusterSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import _reset_task_ids
+from repro.sched import make_scheduler
+
+GOLDEN = os.path.join(os.path.dirname(__file__),
+                      "golden_variant_snapshots.json")
+
+#: scheduler -> constructor kwargs exercising its distinctive knob.
+VARIANTS = {
+    "StealHalfWS": {},
+    "MultiStealWS": {"steal_width": 3},
+    "LocalizedWS": {"steal_radius": 1, "radius_strikes": 2},
+}
+
+#: The pinned grid: every variant on two apps plus one faulted cell.
+CELL_KEYS = tuple(
+    f"{sched}|{app}|{seed}"
+    for sched in sorted(VARIANTS)
+    for app, seed in (("uts", 1), ("mcpi", 7))
+) + tuple(
+    f"{sched}|uts|1|crash:p2@600000,loss:steal=0.05,seed:3"
+    for sched in sorted(VARIANTS)
+)
+
+
+def _snapshot_bytes(key: str) -> str:
+    parts = key.split("|")
+    _reset_task_ids()
+    topology = "ring" if parts[0] == "LocalizedWS" else "full"
+    spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=4,
+                       topology=topology)
+    sched = make_scheduler(parts[0], **VARIANTS[parts[0]])
+    rt = SimRuntime(spec, sched, seed=int(parts[2]))
+    if len(parts) > 3:
+        FaultInjector(FaultPlan.parse(parts[3])).attach(rt)
+    app = make_app(parts[1], scale="test", seed=12345)
+    stats = app.run(rt)
+    return json.dumps(stats.snapshot(), sort_keys=True, indent=1)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    cells = {key: json.loads(_snapshot_bytes(key)) for key in CELL_KEYS}
+    with open(GOLDEN, "w") as fh:
+        json.dump(cells, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+with open(GOLDEN) as _fh:
+    _GOLDEN_CELLS = json.load(_fh)
+
+
+def test_golden_covers_the_pinned_grid():
+    assert sorted(_GOLDEN_CELLS) == sorted(CELL_KEYS)
+
+
+@pytest.mark.parametrize("key", sorted(_GOLDEN_CELLS))
+def test_variant_matches_golden(key):
+    expected = json.dumps(_GOLDEN_CELLS[key], sort_keys=True, indent=1)
+    assert _snapshot_bytes(key) == expected

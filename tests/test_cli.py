@@ -261,6 +261,49 @@ class TestTuneCli:
         assert data["cells"][0]["scheduler"] == "DistWS"
         assert data["cells"][0]["n_trials"] == 3
 
+    def test_list_shows_new_steal_variants_with_knob_tables(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for sched in ("StealHalfWS", "MultiStealWS", "LocalizedWS"):
+            assert sched in out
+        # Each variant's distinctive knob is documented in its table.
+        assert "steal_width" in out
+        assert "steal_radius" in out
+        assert "radius_strikes" in out
+        # StealHalfWS sizes chunks from the deque, so it has no
+        # remote_chunk_size knob of its own.
+        from repro.tune import SCHEDULER_KNOBS
+        names = {k.name for k in SCHEDULER_KNOBS["StealHalfWS"]}
+        assert "remote_chunk_size" not in names
+
+    @pytest.mark.parametrize("sched,knob", [
+        ("StealHalfWS", "victim_order=nearest"),
+        ("MultiStealWS", "steal_width=3"),
+        ("LocalizedWS", "steal_radius=1"),
+    ])
+    def test_run_accepts_each_new_variant(self, capsys, sched, knob):
+        code = main(["run", "--app", "uts", "--scale", "test",
+                     "--places", "2", "--workers", "2",
+                     "--scheduler", sched, "--sched-arg", knob])
+        assert code == 0
+        assert "tasks_executed" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("sched,knob", [
+        ("stealhalfws", "shared_fifo"),
+        ("multistealws", "steal_width"),
+        ("localizedws", "radius_strikes"),
+    ])
+    def test_tune_accepts_each_new_variant(self, capsys, tmp_path,
+                                           sched, knob):
+        code = main(["tune", "--app", "uts", "--scheduler", sched,
+                     "--engine", "grid", "--budget", "2",
+                     "--knob", knob,
+                     "--places", "2", "--workers", "2", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuning uts x" in out
+        assert knob in out
+
     def test_tune_random_requires_budget(self, capsys):
         code = main(["tune", "--app", "uts", "--engine", "random"])
         assert code == 2
@@ -278,6 +321,51 @@ class TestTuneCli:
                      "--places", "2", "--workers", "2"])
         assert code == 2
         assert "unknown knob" in capsys.readouterr().err
+
+
+class TestTheoryCli:
+    def test_theory_quick_writes_figure_and_verdict(self, capsys,
+                                                    tmp_path):
+        code = main(["theory", "--quick", "--app", "uts",
+                     "--scheduler", "randomws",
+                     "--places", "2", "--workers", "2", "--seeds", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan = W/p + c*lambda*log2(W)" in out
+        assert "RandomWS" in out
+        verdict = json.loads((tmp_path / "theory_verdict.json")
+                             .read_text())
+        assert verdict["lower_bound_holds"] is True
+        assert verdict["fits"][0]["scheduler"] == "RandomWS"
+        svg = (tmp_path / "theory_uts.svg").read_text()
+        assert svg.startswith("<svg") and len(svg) > 500
+
+    def test_theory_accepts_new_variants_and_caches(self, capsys,
+                                                    tmp_path):
+        argv = ["theory", "--app", "uts",
+                "--scheduler", "stealhalfws",
+                "--lambda", "2000", "--lambda", "8000",
+                "--places", "2", "--workers", "2", "--seeds", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "StealHalfWS" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulations," in warm
+
+    def test_theory_rejects_unknown_scheduler(self, capsys):
+        code = main(["theory", "--quick", "--scheduler", "TurboWS"])
+        assert code == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_theory_rejects_degenerate_lambda_grid(self, capsys):
+        code = main(["theory", "--lambda", "5000",
+                     "--places", "2", "--workers", "2"])
+        assert code == 2
+        assert "lambdas" in capsys.readouterr().err
 
 
 class TestStoreCli:
