@@ -23,6 +23,12 @@ Subcommands:
 - ``theory`` — sweep the steal latency λ and validate measured
   makespans against the ``W/p + c·λ·log₂W`` work-stealing bound
   (SVG figure + JSON verdict);
+- ``serve`` — run the live multi-process serving tier (one OS process
+  per place, Algorithm 1 as the load balancer) behind a TCP frontend;
+- ``loadgen`` — replay a seeded open-loop traffic trace against the
+  serving tier (embedded head-to-head benchmark across balancers, or
+  ``--connect`` to a running ``repro serve``) with a JSON + SVG
+  latency report;
 - ``list`` — what's available.
 """
 
@@ -675,6 +681,125 @@ def _reproduce_artifacts(args, names) -> int:
     return 0
 
 
+def _serve_traffic(args):
+    """Build a TrafficSpec from the loadgen CLI flags."""
+    from repro.serve import TrafficSpec
+
+    return TrafficSpec(
+        pattern=args.pattern, rate=args.rate, duration_s=args.duration,
+        n_places=args.places, seed=args.seed,
+        sticky_fraction=args.sticky_fraction,
+        service_ms=args.service_ms, service_jitter=args.service_jitter,
+        cpu_ms=args.cpu_ms, skew=args.skew, hot_place=args.hot_place)
+
+
+def _serve_fault_schedule(args, duration_s: float):
+    """Parse ``--faults`` into (kill points, sensitive policy)."""
+    from repro.faults import FaultPlan
+    from repro.serve import crash_schedule
+
+    policy_name = getattr(args, "policy", "fail")
+    if not args.faults:
+        from repro.faults.plan import SensitivePolicy
+        return None, [], SensitivePolicy(policy_name)
+    plan = FaultPlan.parse(args.faults)
+    return plan, crash_schedule(plan, duration_s), plan.sensitive_policy
+
+
+def _write_serve_report(args, report) -> None:
+    from repro.serve.recorder import render, report_svg, to_json
+
+    print(render(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(to_json(report))
+        print(f"\n[report written to {args.out}]")
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(report_svg(report))
+        print(f"[latency figure written to {args.svg}]")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import ConfigError
+    from repro.serve import ServeService, run_frontend
+
+    if args.faults:
+        from repro.faults import FaultPlan
+        if FaultPlan.parse(args.faults).needs_horizon:
+            raise ConfigError(
+                "repro serve has no trace horizon: give crash times in "
+                "absolute seconds > 1 (e.g. crash:p1@5)")
+    _, kills, policy = _serve_fault_schedule(args, 1.0)
+
+    async def _serve() -> None:
+        service = ServeService(
+            n_places=args.places, workers_per_place=args.workers,
+            balancer=args.balancer, policy=policy, seed=args.seed,
+            shared_cap=args.shared_cap, private_cap=args.private_cap,
+            cold_factor=args.cold_factor)
+        async with service:
+            server = await run_frontend(service, args.host, args.port)
+            port = server.sockets[0].getsockname()[1]
+            loop = asyncio.get_running_loop()
+            for at, place in kills:
+                loop.call_later(at, service.kill_place, place)
+            print(f"serving {args.places} place(s) x {args.workers} "
+                  f"worker(s) [{args.balancer}] on {args.host}:{port} — "
+                  "Ctrl-C to stop")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import time
+
+    from repro.serve.recorder import build_report
+
+    traffic = _serve_traffic(args)
+    if args.connect:
+        import asyncio
+
+        from repro.errors import ConfigError
+        from repro.serve import drive_remote
+
+        host, _, port_text = args.connect.rpartition(":")
+        if not port_text.isdigit():
+            raise ConfigError(
+                f"--connect expects HOST:PORT, got {args.connect!r}")
+        wall_t0 = time.perf_counter()
+        recorder, snapshot, traffic = asyncio.run(
+            drive_remote(host or "127.0.0.1", int(port_text), traffic))
+        wall = time.perf_counter() - wall_t0
+        cell = recorder.cell(
+            f"{traffic.pattern}|remote|{args.connect}",
+            {"traffic": {k: getattr(traffic, k) for k in
+                         type(traffic).__dataclass_fields__},
+             "connect": args.connect},
+            traffic.duration_s, wall, service_counters=snapshot)
+        report = build_report([cell])
+    else:
+        from repro.serve import run_benchmark
+
+        faults, _, policy = _serve_fault_schedule(args, traffic.duration_s)
+        balancers = args.balancer or ["selective", "round-robin"]
+        report = run_benchmark(
+            traffic, balancers, workers_per_place=args.workers,
+            policy=policy, faults=faults, shared_cap=args.shared_cap,
+            private_cap=args.private_cap, cold_factor=args.cold_factor,
+            seed=args.seed)
+    _write_serve_report(args, report)
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -1007,6 +1132,84 @@ def main(argv=None) -> int:
                          help="route the sweep through a durable "
                               "experiment store (SQLite job queue)")
 
+    def _serve_common(p, *, loadgen: bool) -> None:
+        """Flags shared by ``serve`` and ``loadgen``."""
+        from repro.serve import BALANCERS, PATTERNS
+        if loadgen:
+            p.add_argument("--balancer", action="append",
+                           choices=sorted(BALANCERS), metavar="NAME",
+                           help="balancer(s) to benchmark (repeatable; "
+                                "default selective,round-robin)")
+        else:
+            p.add_argument("--balancer", default="selective",
+                           choices=sorted(BALANCERS),
+                           help="load balancer (default selective = "
+                                "Algorithm 1 local-first stealing)")
+        p.add_argument("--places", type=_positive_int, default=4,
+                       help="place processes (default 4)")
+        p.add_argument("--workers", type=_positive_int, default=2,
+                       help="asyncio workers per place (default 2)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shared-cap", type=_positive_int, default=256,
+                       help="bounded shared-deque depth per place "
+                            "(overflow is shed)")
+        p.add_argument("--private-cap", type=_positive_int, default=64,
+                       help="bounded private-deque depth per worker")
+        p.add_argument("--cold-factor", type=float, default=2.0,
+                       help="service-time multiplier off the home place "
+                            "(cache-affinity cost; default 2.0)")
+        p.add_argument("--faults", metavar="SPEC",
+                       help="crash schedule, e.g. "
+                            "'crash:p1@0.5,policy:relax' (crash/policy/"
+                            "seed tokens only; fractions of the trace "
+                            "duration in loadgen, absolute seconds in "
+                            "serve)")
+        if loadgen:
+            p.add_argument("--policy", default="fail",
+                           choices=("fail", "relax"),
+                           help="sticky-session failover policy when no "
+                                "--faults spec names one")
+            p.add_argument("--pattern", default="poisson",
+                           choices=PATTERNS)
+            p.add_argument("--rate", type=float, default=200.0,
+                           help="mean offered load, requests/sec")
+            p.add_argument("--duration", type=float, default=5.0,
+                           metavar="SECONDS")
+            p.add_argument("--sticky-fraction", type=float, default=0.5,
+                           help="fraction of requests that are sticky "
+                                "sessions (locality-sensitive)")
+            p.add_argument("--service-ms", type=float, default=10.0,
+                           help="warm per-request service time")
+            p.add_argument("--service-jitter", type=float, default=0.2)
+            p.add_argument("--cpu-ms", type=float, default=0.0,
+                           help="real GIL-holding CPU burn per request")
+            p.add_argument("--skew", type=float, default=1.5,
+                           help="Zipf exponent of the home-place "
+                                "distribution (0 = uniform)")
+            p.add_argument("--hot-place", type=int, default=0)
+
+    servep = sub.add_parser("serve",
+                            help="run the live serving tier (one process "
+                                 "per place) behind a TCP frontend")
+    _serve_common(servep, loadgen=False)
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument("--port", type=int, default=0,
+                        help="frontend port (default: OS-assigned, "
+                             "printed at startup)")
+
+    loadp = sub.add_parser("loadgen",
+                           help="replay an open-loop traffic trace "
+                                "against the serving tier; latency "
+                                "report")
+    _serve_common(loadp, loadgen=True)
+    loadp.add_argument("--connect", metavar="HOST:PORT",
+                       help="drive a running `repro serve` instead of "
+                            "an embedded service")
+    loadp.add_argument("--out", metavar="PATH",
+                       help="write the JSON latency report here")
+    loadp.add_argument("--svg", metavar="PATH",
+                       help="write the latency percentile figure here")
+
     benchp = sub.add_parser("bench",
                             help="kernel performance benchmark "
                                  "(wall-clock / events-per-sec grid)")
@@ -1058,6 +1261,10 @@ def main(argv=None) -> int:
                 return _cmd_report(args)
             if args.command == "theory":
                 return _cmd_theory(args)
+            if args.command == "serve":
+                return _cmd_serve(args)
+            if args.command == "loadgen":
+                return _cmd_loadgen(args)
             return _cmd_reproduce(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

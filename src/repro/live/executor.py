@@ -53,6 +53,7 @@ class LiveExecutor:
         self.selective = selective
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
         self._private: List[List[collections.deque]] = [
             [collections.deque() for _ in range(workers_per_place)]
             for _ in range(n_places)]
@@ -77,10 +78,13 @@ class LiveExecutor:
         """Submit ``fn(*args, **kwargs)`` homed at ``place``."""
         if not (0 <= place < self.n_places):
             raise ConfigError(f"no such place: {place}")
-        if self._shutdown:
-            raise SchedulerError("executor is shut down")
         task = _LiveTask(fn, args, kwargs, place, flexible)
         with self._lock:
+            # Checked under the lock: a shutdown() racing with submit()
+            # must either see this task (and drain it) or reject it —
+            # never strand it on a deque no worker will visit again.
+            if self._shutdown:
+                raise SchedulerError("executor is shut down")
             self._pending += 1
             if flexible:
                 self._shared[place].append(task)
@@ -103,18 +107,10 @@ class LiveExecutor:
     # -- lifecycle ------------------------------------------------------------
     def join(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted task has completed."""
-        done = threading.Event()
-
-        def check():
-            with self._lock:
-                return self._pending == 0
-
-        import time
-        deadline = None if timeout is None else time.time() + timeout
-        while not check():
-            if deadline is not None and time.time() > deadline:
+        with self._lock:
+            if not self._idle.wait_for(lambda: self._pending == 0,
+                                       timeout=timeout):
                 raise TimeoutError("live executor join timed out")
-            time.sleep(0.001)
 
     def shutdown(self) -> None:
         """Stop all workers (pending tasks are finished first)."""
@@ -179,6 +175,13 @@ class LiveExecutor:
                     and task.home_place != p:  # pragma: no cover
                 raise SchedulerError(
                     "sensitive task leaked across places")
+            if not task.future.set_running_or_notify_cancel():
+                # Cancelled while queued: skip execution.  Without this
+                # guard a set_result on the cancelled future raises
+                # InvalidStateError and silently kills the worker.
+                self.stats["cancelled"] += 1
+                self._task_done()
+                continue
             task.exec_place = p
             try:
                 result = task.fn(*task.args, **task.kwargs)
@@ -186,5 +189,10 @@ class LiveExecutor:
                 task.future.set_exception(exc)
             else:
                 task.future.set_result(result)
-            with self._lock:
-                self._pending -= 1
+            self._task_done()
+
+    def _task_done(self) -> None:
+        with self._lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.notify_all()

@@ -1,0 +1,55 @@
+"""repro.serve — the live multi-process serving tier.
+
+Each *place* of the paper's model becomes an OS process running an
+asyncio event loop; places talk over loopback sockets.  Algorithm 1's
+local-first steal order is the load balancer (``selective``), with
+``round-robin`` and ``random`` registered as alternatives.  See
+DESIGN.md §16.
+"""
+
+from repro.serve.balancer import BALANCERS, BalancerSpec, get_balancer
+from repro.serve.loadgen import (
+    drive_embedded,
+    drive_remote,
+    run_benchmark,
+    run_cell,
+    run_frontend,
+)
+from repro.serve.protocol import Framer, ProtocolError, ServeError, open_framer
+from repro.serve.recorder import LatencyRecorder, build_report, report_svg
+from repro.serve.service import RequestRecord, ServeService, crash_schedule
+from repro.serve.traffic import (
+    CLS_FLEX,
+    CLS_STICKY,
+    PATTERNS,
+    Arrival,
+    TrafficSpec,
+    make_trace,
+)
+
+__all__ = [
+    "Arrival",
+    "BALANCERS",
+    "BalancerSpec",
+    "CLS_FLEX",
+    "CLS_STICKY",
+    "Framer",
+    "LatencyRecorder",
+    "PATTERNS",
+    "ProtocolError",
+    "RequestRecord",
+    "ServeError",
+    "ServeService",
+    "TrafficSpec",
+    "build_report",
+    "crash_schedule",
+    "drive_embedded",
+    "drive_remote",
+    "get_balancer",
+    "make_trace",
+    "open_framer",
+    "report_svg",
+    "run_benchmark",
+    "run_cell",
+    "run_frontend",
+]

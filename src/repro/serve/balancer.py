@@ -1,0 +1,112 @@
+"""Load-balancing policies for the serving tier.
+
+A balancer decides two things, and only for locality-*flexible*
+requests (sticky requests always run at their home place — that is the
+serving tier's hard invariant, independent of policy):
+
+1. **dispatch** — which place's shared deque an incoming flexible
+   request is appended to;
+2. **stealing** — whether idle places may pull work out of remote
+   shared deques after exhausting their local deques, i.e. whether
+   Algorithm 1's final steal tier is enabled.
+
+``selective`` is the paper's Algorithm 1 as a load balancer: requests
+run where their state lives (dispatch to home, warm-cache service
+times) and only the spillover migrates, pulled by idle places in
+local-first order.  ``round-robin`` is the classic stateless
+front-end: even spray at dispatch time, no rebalancing afterwards.
+``random`` is the RandomWS-style baseline: uniformly random dispatch
+(ignoring the request's affinity) plus random-victim stealing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Dispatch modes a :class:`BalancerSpec` may name.
+_DISPATCH_MODES = ("home", "round-robin", "random")
+
+
+@dataclass(frozen=True)
+class BalancerSpec:
+    """A registered load-balancing policy (pure data; see BALANCERS)."""
+
+    name: str
+    #: Where flexible requests are enqueued: ``home`` (their affinity
+    #: place), ``round-robin``, or ``random``.
+    dispatch: str
+    #: Whether idle places run Algorithm 1's remote-steal tier.
+    steal: bool
+    doc: str
+
+
+BALANCERS: Dict[str, BalancerSpec] = {
+    "selective": BalancerSpec(
+        "selective", dispatch="home", steal=True,
+        doc="Algorithm 1: dispatch to the request's home place "
+            "(warm cache); idle places steal flexible spillover from "
+            "remote shared deques, local work first."),
+    "round-robin": BalancerSpec(
+        "round-robin", dispatch="round-robin", steal=False,
+        doc="Classic front-end: spray flexible requests evenly at "
+            "dispatch time; no work movement afterwards."),
+    "random": BalancerSpec(
+        "random", dispatch="random", steal=True,
+        doc="RandomWS-style: uniformly random dispatch ignoring "
+            "affinity, plus random-victim stealing."),
+}
+
+
+def get_balancer(name: str) -> BalancerSpec:
+    """Resolve a balancer name (case-insensitive) or raise ConfigError."""
+    for known, spec in BALANCERS.items():
+        if known.lower() == name.lower():
+            return spec
+    raise ConfigError(f"unknown balancer {name!r}; known: "
+                      f"{sorted(BALANCERS)}")
+
+
+class Dispatcher:
+    """Router-side placement state for one service instance.
+
+    ``place_for`` only ever returns a currently-alive place; the home
+    policy falls back to a seeded-random survivor when the preferred
+    place is dead (crash failover re-dispatch goes through the same
+    path with ``force`` admission at the place).
+    """
+
+    def __init__(self, spec: BalancerSpec, n_places: int,
+                 seed: int = 0) -> None:
+        if spec.dispatch not in _DISPATCH_MODES:
+            raise ConfigError(f"bad dispatch mode {spec.dispatch!r}")
+        self.spec = spec
+        self.n_places = n_places
+        self._rng = random.Random(seed * 7919 + 17)
+        self._rr_next = 0
+
+    def place_for(self, task: dict, alive: Sequence[int]) -> Optional[int]:
+        """Choose the target place for one request; None if none alive."""
+        if not alive:
+            return None
+        home = task["home"]
+        if not task["flexible"]:
+            # Sticky requests are policy-independent: home or nothing.
+            return home if home in alive else None
+        if self.spec.dispatch == "home":
+            if home in alive:
+                return home
+            return self._rng.choice(list(alive))
+        if self.spec.dispatch == "round-robin":
+            # Cycle over place ids, skipping the dead, so the pattern
+            # stays even as membership changes.
+            for _ in range(self.n_places):
+                target = self._rr_next % self.n_places
+                self._rr_next += 1
+                if target in alive:
+                    return target
+            return self._rng.choice(list(alive))
+        return self._rng.choice(list(alive))

@@ -1,0 +1,284 @@
+"""Open-loop load generation and the serve benchmark driver.
+
+Two ways to drive traffic at a service:
+
+- **embedded** (:func:`run_benchmark`) — the loadgen owns the
+  :class:`ServeService` in-process (places are still separate OS
+  processes), replays a :class:`TrafficSpec` schedule against one or
+  more balancers back to back, and can SIGKILL places mid-trace from a
+  ``FaultPlan``.  This is what ``repro loadgen`` runs by default and
+  what produces ``BENCH_serve.json``.
+- **remote** (:func:`drive_remote`) — connect to a standalone
+  ``repro serve`` frontend over TCP and replay the schedule against it
+  (no fault injection: the remote service owns its processes).
+
+Replay is open-loop: each arrival is submitted at its scheduled
+wall-clock offset whether or not earlier requests have completed, so
+overload shows up as queue growth and shedding rather than being
+absorbed by the generator.  A request still unresolved
+``completion_timeout`` seconds after the last arrival is counted as
+``lost`` — the outcome that must never happen for accepted requests
+and that the CI smoke gate fails on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import FaultPlan, SensitivePolicy
+from repro.serve.protocol import Framer, open_framer
+from repro.serve.recorder import LatencyRecorder, build_report
+from repro.serve.service import RequestRecord, ServeService, crash_schedule
+from repro.serve.traffic import Arrival, TrafficSpec, make_trace
+
+#: Seconds after the last arrival before unresolved requests are
+#: declared lost.  Bounded queues bound completion time, so anything
+#: still pending after this is a real loss, not slowness.
+COMPLETION_TIMEOUT = 30.0
+
+OUTCOME_LOST = "lost"
+
+
+def _harvest(records: Sequence[RequestRecord],
+             recorder: LatencyRecorder) -> None:
+    for rec in records:
+        recorder.record(rec.task["cls"], rec.outcome or OUTCOME_LOST,
+                        latency_s=rec.latency_s, relaxed=rec.relaxed,
+                        warm=rec.warm)
+
+
+async def drive_embedded(service: ServeService,
+                         arrivals: Sequence[Arrival],
+                         kills: Sequence[tuple] = (),
+                         completion_timeout: float = COMPLETION_TIMEOUT,
+                         ) -> List[RequestRecord]:
+    """Replay ``arrivals`` open-loop against a started service."""
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+
+    async def _kill(at: float, place: int) -> None:
+        delay = t0 + at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        service.kill_place(place)
+
+    kill_tasks = [asyncio.ensure_future(_kill(at, place))
+                  for at, place in kills]
+    records: List[RequestRecord] = []
+    try:
+        for arrival in arrivals:
+            delay = t0 + arrival.t - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            records.append(await service.submit(arrival.payload()))
+        futures = [r.future for r in records if not r.future.done()]
+        if futures:
+            await asyncio.wait(futures, timeout=completion_timeout)
+    finally:
+        for task in kill_tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*kill_tasks, return_exceptions=True)
+    return records
+
+
+def run_cell(traffic: TrafficSpec, balancer: str, *,
+             workers_per_place: int = 2,
+             policy: SensitivePolicy = SensitivePolicy.FAIL_FAST,
+             faults: Optional[FaultPlan] = None,
+             shared_cap: int = 256, private_cap: int = 64,
+             cold_factor: float = 2.0, seed: int = 0,
+             completion_timeout: float = COMPLETION_TIMEOUT,
+             mp_context: str = "spawn") -> dict:
+    """Run one (traffic × balancer) cell on a fresh embedded service."""
+    arrivals = make_trace(traffic)
+    kills = crash_schedule(faults, traffic.duration_s) if faults else ()
+    if faults:
+        policy = faults.sensitive_policy
+
+    async def _run() -> tuple:
+        service = ServeService(
+            n_places=traffic.n_places,
+            workers_per_place=workers_per_place, balancer=balancer,
+            policy=policy, seed=seed, shared_cap=shared_cap,
+            private_cap=private_cap, cold_factor=cold_factor,
+            mp_context=mp_context)
+        async with service:
+            records = await drive_embedded(
+                service, arrivals, kills,
+                completion_timeout=completion_timeout)
+        return service, records
+
+    wall_t0 = time.perf_counter()
+    service, records = asyncio.run(_run())
+    wall = time.perf_counter() - wall_t0
+    recorder = LatencyRecorder()
+    _harvest(records, recorder)
+    name = (f"{traffic.pattern}|{balancer}|{traffic.n_places}x"
+            f"{workers_per_place}")
+    config = {
+        "traffic": {k: getattr(traffic, k)
+                    for k in TrafficSpec.__dataclass_fields__},
+        "balancer": balancer,
+        "workers_per_place": workers_per_place,
+        "policy": policy.value,
+        "shared_cap": shared_cap, "private_cap": private_cap,
+        "cold_factor": cold_factor, "seed": seed,
+        "faults": bool(kills),
+    }
+    return recorder.cell(name, config, traffic.duration_s, wall,
+                         service_counters=service.snapshot())
+
+
+def run_benchmark(traffic: TrafficSpec,
+                  balancers: Sequence[str] = ("selective", "round-robin"),
+                  **cell_kwargs) -> dict:
+    """Head-to-head benchmark: one cell per balancer, same trace."""
+    cells = [run_cell(traffic, balancer, **cell_kwargs)
+             for balancer in balancers]
+    return build_report(cells)
+
+
+# -- frontend (repro serve) ------------------------------------------------
+async def run_frontend(service: ServeService, host: str, port: int):
+    """Expose a started service to remote load generators.
+
+    Returns the listening ``asyncio`` server; the caller decides how
+    long to serve.  Protocol per client: ``request`` frames in,
+    ``done`` frames out (order of completion, matched by id), plus
+    ``stats`` request/reply.
+    """
+    background: set = set()
+
+    async def _finish(framer: Framer, rec: RequestRecord) -> None:
+        await rec.future
+        try:
+            await framer.send({"kind": "done", "id": rec.task["id"],
+                               "outcome": rec.outcome,
+                               "place": rec.place, "warm": rec.warm,
+                               "relaxed": rec.relaxed})
+        except (ConnectionError, OSError):
+            pass
+
+    async def _on_client(reader, writer) -> None:
+        framer = Framer(reader, writer)
+        try:
+            while True:
+                msg = await framer.recv()
+                if msg is None:
+                    break
+                if msg["kind"] == "request":
+                    rec = await service.submit(msg["task"])
+                    task = asyncio.ensure_future(_finish(framer, rec))
+                    background.add(task)
+                    task.add_done_callback(background.discard)
+                elif msg["kind"] == "hello":
+                    await framer.send({
+                        "kind": "hello", "role": "frontend",
+                        "n_places": service.n_places,
+                        "workers_per_place": service.workers_per_place})
+                elif msg["kind"] == "stats":
+                    await framer.send({"kind": "stats",
+                                       "snapshot": service.snapshot()})
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            await framer.close()
+
+    return await asyncio.start_server(_on_client, host, port)
+
+
+async def drive_remote(host: str, port: int,
+                       traffic: TrafficSpec,
+                       completion_timeout: float = COMPLETION_TIMEOUT,
+                       ) -> tuple:
+    """Replay a ``traffic`` schedule against a remote frontend.
+
+    The frontend's hello reply states its real place count; homes are
+    drawn against that, not against ``traffic.n_places`` — a sticky
+    request homed at a place the server doesn't have would fail on
+    arrival, which is a generator bug, not a service outcome.
+
+    Returns ``(recorder, remote_snapshot, traffic)`` — latencies are
+    measured at this end (submit → done frame), the counter snapshot
+    comes from the remote service, and ``traffic`` is the spec actually
+    replayed (place count rewritten to the server's).
+    """
+    from dataclasses import replace
+
+    from repro.serve.protocol import ProtocolError
+
+    recorder = LatencyRecorder()
+    framer = await open_framer(host, port)
+    await framer.send({"kind": "hello", "role": "loadgen"})
+    try:
+        reply = await framer.recv()
+    except (ProtocolError, ConnectionError, OSError):
+        reply = None
+    if reply is None or reply.get("kind") != "hello":
+        await framer.close()
+        raise ProtocolError(
+            f"{host}:{port} did not answer the hello handshake — "
+            "is it a repro serve frontend?")
+    remote_places = int(reply["n_places"])
+    if remote_places != traffic.n_places:
+        traffic = replace(traffic, n_places=remote_places,
+                          hot_place=min(traffic.hot_place,
+                                        remote_places - 1))
+    arrivals = make_trace(traffic)
+    pending: Dict[int, tuple] = {}
+    done = asyncio.Event()
+    snapshot: Dict[str, dict] = {}
+
+    async def _reader() -> None:
+        while True:
+            msg = await framer.recv()
+            if msg is None:
+                break
+            if msg["kind"] == "done":
+                entry = pending.pop(msg["id"], None)
+                if entry is not None:
+                    arrival, t_submit = entry
+                    recorder.record(
+                        arrival.cls, msg["outcome"],
+                        latency_s=time.perf_counter() - t_submit,
+                        relaxed=bool(msg.get("relaxed")),
+                        warm=msg.get("warm"))
+                if not pending:
+                    done.set()
+            elif msg["kind"] == "stats":
+                snapshot.update(msg["snapshot"])
+                done.set()
+
+    reader = asyncio.ensure_future(_reader())
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    try:
+        for arrival in arrivals:
+            delay = t0 + arrival.t - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            pending[arrival.rid] = (arrival, time.perf_counter())
+            await framer.send({"kind": "request",
+                               "task": arrival.payload()})
+        if pending:
+            done.clear()
+            try:
+                await asyncio.wait_for(done.wait(), completion_timeout)
+            except asyncio.TimeoutError:
+                pass
+        for arrival, _ in pending.values():
+            recorder.record(arrival.cls, OUTCOME_LOST)
+        done.clear()
+        await framer.send({"kind": "stats"})
+        try:
+            await asyncio.wait_for(done.wait(), 5.0)
+        except asyncio.TimeoutError:
+            pass
+    finally:
+        reader.cancel()
+        await asyncio.gather(reader, return_exceptions=True)
+        await framer.close()
+    return recorder, snapshot, traffic

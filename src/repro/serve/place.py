@@ -1,0 +1,303 @@
+"""One *place* of the serving tier: an OS process running asyncio.
+
+Each place is its own process (sidestepping the GIL — CPU burn in one
+place never stalls another) listening on a loopback socket.  Inside, the
+paper's dual-deque structure runs over ``workers`` asyncio worker
+coroutines:
+
+- one **private deque per worker** holding sticky-session requests
+  (locality-sensitive: they arrived homed here and never leave);
+- one **shared deque per place** holding flexible ``@any_place_task``
+  requests, the only deque remote thieves may touch.
+
+A worker acquires work in Algorithm 1's local-first order: own private
+deque (LIFO), co-located workers' private deques (FIFO), the local
+shared deque (FIFO), and finally — when the balancer enables stealing —
+a remote place's shared deque (oldest request first, over a socket).
+
+Queues are bounded: an ``enqueue`` that would overflow its deque is
+refused (``ack accepted=false``) and counted as shed, so saturation
+degrades into load-shedding instead of unbounded latency.  Failover
+re-dispatches carry ``force=true`` and bypass the bound — an accepted
+request is never shed after the fact.
+
+Cache affinity is priced into service time: a request executing at its
+home place costs ``service_ms``; anywhere else it costs
+``service_ms × cold_factor`` (the warm-cache/cold-cache asymmetry that
+makes selective locality-aware balancing measurable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import contextlib
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import Framer, ProtocolError
+
+#: How long an idle worker waits for the work event before retrying its
+#: full take/steal round (seconds).  A safety net only: enqueues set the
+#: event, so normal wakeups are immediate.
+DEFAULT_IDLE_WAIT = 0.02
+
+#: Timeout for one remote steal probe (send + reply).
+STEAL_TIMEOUT = 1.0
+
+
+class PlaceServer:
+    """The in-process state of one serving place."""
+
+    def __init__(self, cfg: dict) -> None:
+        self.place: int = cfg["place"]
+        self.n_places: int = cfg["n_places"]
+        self.workers: int = cfg["workers"]
+        self.steal_enabled: bool = cfg["steal"]
+        self.shared_cap: int = cfg["shared_cap"]
+        self.private_cap: int = cfg["private_cap"]
+        self.cold_factor: float = cfg["cold_factor"]
+        self.idle_wait: float = cfg.get("idle_wait", DEFAULT_IDLE_WAIT)
+        self.shared: collections.deque = collections.deque()
+        self.private: List[collections.deque] = [
+            collections.deque() for _ in range(self.workers)]
+        self.counters: collections.Counter = collections.Counter()
+        self.peers: Dict[int, int] = {}  # place -> port
+        self._peer_framers: Dict[int, Framer] = {}
+        self._peer_locks: Dict[int, asyncio.Lock] = {}
+        self._router: Optional[Framer] = None
+        self._work = asyncio.Event()
+        self._stop = asyncio.Event()
+        self._conn_tasks: set = set()
+        self._rng = random.Random(cfg.get("seed", 0) * 100_003
+                                  + self.place)
+
+    # -- connection handling -----------------------------------------------
+    async def on_connection(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        framer = Framer(reader, writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                msg = await framer.recv()
+                if msg is None:
+                    break
+                kind = msg["kind"]
+                if kind == "enqueue":
+                    await self._handle_enqueue(msg, framer)
+                elif kind == "steal":
+                    await self._handle_steal(msg, framer)
+                elif kind == "hello":
+                    if msg.get("role") == "router":
+                        self._router = framer
+                elif kind == "peers":
+                    self.peers = {int(p): int(port) for p, port
+                                  in msg["ports"].items()
+                                  if int(p) != self.place}
+                elif kind == "stats":
+                    await framer.send({"kind": "stats",
+                                       "place": self.place,
+                                       "counters": dict(self.counters)})
+                elif kind == "stop":
+                    self._stop.set()
+                    break
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown path: the loop is being torn down.  Ending the
+            # handler cleanly keeps asyncio's stream machinery from
+            # logging a spurious traceback from the place process.
+            pass
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await framer.close()
+
+    async def _handle_enqueue(self, msg: dict, framer: Framer) -> None:
+        task = msg["task"]
+        force = bool(msg.get("force"))
+        accepted = True
+        if task["flexible"]:
+            if not force and len(self.shared) >= self.shared_cap:
+                accepted = False
+            else:
+                self.shared.append(task)
+        elif task["home"] != self.place:
+            # A sticky request routed off-home is a router bug; refuse
+            # loudly rather than execute it in the wrong cache domain.
+            self.counters["misrouted"] += 1
+            accepted = False
+        else:
+            target = min(self.private, key=len)
+            if not force and len(target) >= self.private_cap:
+                accepted = False
+            else:
+                target.append(task)
+        self.counters["accepted" if accepted else "shed"] += 1
+        if accepted:
+            self._work.set()
+        await framer.send({"kind": "ack", "id": task["id"],
+                           "accepted": accepted})
+
+    async def _handle_steal(self, msg: dict, framer: Framer) -> None:
+        task = self.shared.popleft() if self.shared else None
+        if task is not None:
+            self.counters["steals_out"] += 1
+            # Tell the router where the request went *before* handing it
+            # over: while this place is alive the router's location map
+            # stays a superset of the truth, which is what crash
+            # failover's at-least-once re-dispatch relies on.
+            if self._router is not None:
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._router.send(
+                        {"kind": "stolen", "id": task["id"],
+                         "from": self.place, "to": msg["thief"]})
+        await framer.send({"kind": "steal_reply", "task": task})
+
+    # -- Algorithm 1: local-first acquisition ------------------------------
+    def _take_local(self, w: int) -> Optional[dict]:
+        mine = self.private[w]
+        if mine:
+            self.counters["own_pops"] += 1
+            return mine.pop()  # LIFO for the owner
+        for v in range(self.workers):
+            if v != w and self.private[v]:
+                self.counters["local_steals"] += 1
+                return self.private[v].popleft()
+        if self.shared:
+            self.counters["shared_takes"] += 1
+            return self.shared.popleft()
+        return None
+
+    async def _peer_framer(self, victim: int) -> Optional[Framer]:
+        framer = self._peer_framers.get(victim)
+        if framer is not None:
+            return framer
+        port = self.peers.get(victim)
+        if port is None:
+            return None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection("127.0.0.1", port), STEAL_TIMEOUT)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return None
+        framer = Framer(reader, writer)
+        await framer.send({"kind": "hello", "role": "thief",
+                           "place": self.place})
+        self._peer_framers[victim] = framer
+        return framer
+
+    async def _drop_peer(self, victim: int) -> None:
+        framer = self._peer_framers.pop(victim, None)
+        if framer is not None:
+            await framer.close()
+
+    async def _steal_remote(self, w: int) -> Optional[dict]:
+        """One probe round over the victims in seeded-random order."""
+        victims = [p for p in self.peers if p != self.place]
+        self._rng.shuffle(victims)
+        for victim in victims:
+            lock = self._peer_locks.setdefault(victim, asyncio.Lock())
+            async with lock:
+                framer = await self._peer_framer(victim)
+                if framer is None:
+                    continue
+                self.counters["steal_probes"] += 1
+                try:
+                    await framer.send({"kind": "steal",
+                                       "thief": self.place})
+                    reply = await asyncio.wait_for(framer.recv(),
+                                                   STEAL_TIMEOUT)
+                except (ProtocolError, ConnectionError, OSError,
+                        asyncio.TimeoutError):
+                    await self._drop_peer(victim)
+                    continue
+            if reply is None:
+                await self._drop_peer(victim)
+                continue
+            if reply.get("task") is not None:
+                self.counters["steal_hits"] += 1
+                return reply["task"]
+        return None
+
+    # -- execution ---------------------------------------------------------
+    async def _execute(self, w: int, task: dict) -> None:
+        warm = task["home"] == self.place
+        if not task["flexible"] and not warm:
+            # Defense in depth: the deque discipline makes this
+            # unreachable, but if it ever happens the router (and the
+            # CI smoke gate) must see it, not a silently-wrong answer.
+            self.counters["misplaced"] += 1
+            await self._respond({"kind": "response", "id": task["id"],
+                                 "place": self.place, "warm": False,
+                                 "misplaced": True})
+            return
+        cost = task["service_ms"] / 1000.0
+        if not warm:
+            cost *= self.cold_factor
+        cpu = task.get("cpu_ms", 0.0) / 1000.0
+        if cpu > 0:
+            # Real GIL-holding work: only multi-process placement keeps
+            # places independent under this.
+            deadline = time.perf_counter() + (cpu if warm
+                                              else cpu * self.cold_factor)
+            while time.perf_counter() < deadline:
+                pass
+        if cost > 0:
+            await asyncio.sleep(cost)
+        self.counters["executed"] += 1
+        self.counters["executed_warm" if warm else "executed_cold"] += 1
+        await self._respond({"kind": "response", "id": task["id"],
+                             "place": self.place, "warm": warm,
+                             "relaxed": bool(task.get("relaxed"))})
+
+    async def _respond(self, msg: dict) -> None:
+        if self._router is None:
+            return
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._router.send(msg)
+
+    async def _worker(self, w: int) -> None:
+        while not self._stop.is_set():
+            self._work.clear()
+            task = self._take_local(w)
+            if task is None and self.steal_enabled:
+                task = await self._steal_remote(w)
+            if task is None:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._work.wait(),
+                                           self.idle_wait)
+                continue
+            await self._execute(w, task)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def main(self, port_conn) -> None:
+        server = await asyncio.start_server(self.on_connection,
+                                            "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        port_conn.send(port)
+        port_conn.close()
+        worker_tasks = [asyncio.ensure_future(self._worker(w))
+                        for w in range(self.workers)]
+        try:
+            await self._stop.wait()
+        finally:
+            for t in worker_tasks:
+                t.cancel()
+            await asyncio.gather(*worker_tasks, return_exceptions=True)
+            for framer in list(self._peer_framers.values()):
+                await framer.close()
+            server.close()
+            await server.wait_closed()
+            for t in list(self._conn_tasks):
+                t.cancel()
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+
+def run_place(cfg: dict, port_conn) -> None:
+    """Process entry point (``multiprocessing.Process`` target)."""
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(PlaceServer(cfg).main(port_conn))

@@ -1,0 +1,121 @@
+"""Wire protocol for the live serving tier.
+
+Every connection in ``repro.serve`` — router → place, thief place →
+victim place, load generator → frontend — speaks the same framing: a
+4-byte big-endian length prefix followed by one UTF-8 JSON object with a
+``kind`` field.  JSON keeps the protocol debuggable (``tcpdump`` shows
+readable frames) and places no pickle trust boundary between processes;
+the payloads are small dicts, so framing cost is negligible next to
+request service times.
+
+Frame kinds (see DESIGN.md §16 for the full exchange diagrams)::
+
+    hello        first frame on a connection; names the peer's role
+    enqueue      router → place: run this request (``force`` bypasses
+                 the bounded-queue admission check on failover)
+    ack          place → router: accepted or shed, per request
+    steal        thief → victim: give me your oldest shared task
+    steal_reply  victim → thief: a task, or ``task: null`` for a miss
+    stolen       victim → router: request moved to the thief (location
+                 tracking for crash failover)
+    response     executing place → router: request finished
+    request      loadgen → frontend: submit one request
+    done         frontend → loadgen: terminal outcome for one request
+    stats        counter snapshot request/reply
+    stop         orderly shutdown
+
+:class:`Framer` wraps an asyncio stream pair with a send lock so
+concurrent coroutines (e.g. an ack and a response) cannot interleave
+partial frames on one socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import struct
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The live serving tier was misused or reached a broken state."""
+
+
+class ProtocolError(ServeError):
+    """A malformed, truncated, or oversized frame arrived on a socket."""
+
+
+#: Length prefix: 4-byte unsigned big-endian payload size.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON payload.  Requests are tiny dicts; a
+#: frame this large means a corrupted length prefix, not a real message.
+MAX_FRAME_BYTES = 1 << 20
+
+
+def encode(msg: dict) -> bytes:
+    """Serialize one message to its on-wire bytes (header + JSON)."""
+    body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    return HEADER.pack(len(body)) + body
+
+
+async def read_msg(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    (size,) = HEADER.unpack(header)
+    if size > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {size} exceeds "
+                            f"{MAX_FRAME_BYTES} (corrupt stream?)")
+    try:
+        body = await reader.readexactly(size)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    try:
+        msg = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"bad frame payload: {exc}") from None
+    if not isinstance(msg, dict) or "kind" not in msg:
+        raise ProtocolError("frame payload is not a message object")
+    return msg
+
+
+class Framer:
+    """One framed, full-duplex message stream over an asyncio socket."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, msg: dict) -> None:
+        """Write one frame atomically (serialized per connection)."""
+        data = encode(msg)
+        async with self._send_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[dict]:
+        """Read the next frame; ``None`` on clean EOF."""
+        return await read_msg(self._reader)
+
+    async def close(self) -> None:
+        with contextlib.suppress(Exception):
+            self._writer.close()
+            await self._writer.wait_closed()
+
+
+async def open_framer(host: str, port: int) -> Framer:
+    """Connect and wrap the stream pair in a :class:`Framer`."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return Framer(reader, writer)

@@ -1,0 +1,368 @@
+"""The serving-tier router: place supervision, dispatch, and failover.
+
+:class:`ServeService` owns the fleet of place processes.  It spawns one
+OS process per place (loopback sockets as the interconnect), feeds
+requests to places per the configured balancer, and keeps the
+**request ledger** — id → (payload, believed location, terminal
+outcome) — that makes crash failover exactly-once:
+
+- every location change is reported to the router (dispatch sets it,
+  a steal's victim sends ``stolen`` before handing the task over);
+- when a place dies (socket EOF after a crash/SIGKILL), every
+  non-terminal request last seen there is re-dispatched to a survivor
+  (``force`` admission, bypassing queue bounds) — flexible requests
+  always, sticky requests per :class:`SensitivePolicy` (``fail`` →
+  :class:`PlaceFailedError` outcome, ``relax`` → degrade to flexible);
+- re-dispatch is *at-least-once* (a task stolen away from the dead
+  place an instant before the crash may also finish at its thief), so
+  the router dedupes completions: the first ``response`` per id wins,
+  later ones increment ``duplicate_responses``.  Clients observe
+  exactly-once completion.
+
+Faults: :meth:`kill_place` SIGKILLs a live place process — the PR-1
+``FaultPlan`` grammar drives it via :func:`crash_schedule` (crash times
+in wall seconds, or fractions of the trace duration).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import os
+import signal
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, SensitivePolicy
+from repro.serve.balancer import BalancerSpec, Dispatcher, get_balancer
+from repro.serve.protocol import (
+    Framer,
+    ProtocolError,
+    ServeError,
+    open_framer,
+)
+
+#: Seconds a place process gets to report its port before startup fails.
+STARTUP_TIMEOUT = 30.0
+
+#: Terminal request outcomes as recorded in the ledger.
+OUTCOME_OK = "ok"
+OUTCOME_SHED = "shed"
+OUTCOME_FAILED = "failed"
+
+
+@dataclass
+class RequestRecord:
+    """Ledger entry for one submitted request."""
+
+    task: dict
+    t_submit: float
+    where: Optional[int] = None
+    accepted: bool = False
+    outcome: Optional[str] = None
+    place: Optional[int] = None   # where it actually executed
+    warm: Optional[bool] = None
+    relaxed: bool = False
+    t_done: Optional[float] = None
+    future: "asyncio.Future" = field(
+        default_factory=lambda: asyncio.get_running_loop().create_future())
+
+    @property
+    def terminal(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.t_done is None:
+            return None
+        return self.t_done - self.t_submit
+
+
+def crash_schedule(plan: FaultPlan,
+                   duration_s: float) -> List[Tuple[float, int]]:
+    """Resolve a fault plan into ``(at_seconds, place)`` kill points.
+
+    The serving tier supports the plan's crash and policy tokens; the
+    simulator-only tokens (loss/spike/straggle) have no socket-level
+    analogue here and are rejected rather than silently ignored.
+    """
+    if plan.loss or plan.spikes or plan.stragglers:
+        raise ConfigError(
+            "the live serving tier supports only crash:/policy:/seed: "
+            "fault tokens (loss/spike/straggle are simulator-only)")
+    resolved = plan.resolved(duration_s) if plan.needs_horizon else plan
+    return sorted((c.at, c.place) for c in resolved.crashes)
+
+
+class ServeService:
+    """A multi-process serving instance driven from one asyncio loop."""
+
+    def __init__(self, n_places: int = 4, workers_per_place: int = 2,
+                 balancer: str = "selective",
+                 policy: SensitivePolicy = SensitivePolicy.FAIL_FAST,
+                 seed: int = 0, shared_cap: int = 256,
+                 private_cap: int = 64, cold_factor: float = 2.0,
+                 idle_wait: float = 0.02,
+                 mp_context: str = "spawn") -> None:
+        if n_places < 1 or workers_per_place < 1:
+            raise ConfigError("need at least one place and worker")
+        self.n_places = n_places
+        self.workers_per_place = workers_per_place
+        self.spec: BalancerSpec = get_balancer(balancer)
+        self.policy = policy
+        self.seed = seed
+        self.shared_cap = shared_cap
+        self.private_cap = private_cap
+        self.cold_factor = cold_factor
+        self.idle_wait = idle_wait
+        self._mp_context = mp_context
+        self.dispatcher = Dispatcher(self.spec, n_places, seed)
+        self.counters: Counter = Counter()
+        self.records: Dict[int, RequestRecord] = {}
+        self.place_counters: Dict[int, dict] = {}
+        self.alive: set = set()
+        self._procs: List[multiprocessing.Process] = []
+        self._ports: List[int] = []
+        self._framers: Dict[int, Framer] = {}
+        self._readers: List[asyncio.Task] = []
+        self._stats_waiters: Dict[int, asyncio.Future] = {}
+        self._stopping = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def _launch_processes(self) -> None:
+        """Spawn the place processes and collect their listening ports."""
+        ctx = multiprocessing.get_context(self._mp_context)
+        pipes = []
+        for p in range(self.n_places):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            cfg = {"place": p, "n_places": self.n_places,
+                   "workers": self.workers_per_place,
+                   "steal": self.spec.steal,
+                   "shared_cap": self.shared_cap,
+                   "private_cap": self.private_cap,
+                   "cold_factor": self.cold_factor,
+                   "idle_wait": self.idle_wait,
+                   "seed": self.seed}
+            from repro.serve.place import run_place
+            proc = ctx.Process(target=run_place, args=(cfg, child_conn),
+                               daemon=True, name=f"serve-place-{p}")
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            pipes.append(parent_conn)
+        for p, conn in enumerate(pipes):
+            if not conn.poll(STARTUP_TIMEOUT):
+                raise ServeError(f"place {p} failed to start "
+                                 f"(no port after {STARTUP_TIMEOUT}s)")
+            self._ports.append(conn.recv())
+            conn.close()
+
+    async def start(self) -> None:
+        """Spawn places, connect, and exchange peer discovery."""
+        if self._started:
+            raise ServeError("service already started")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._launch_processes)
+        ports = {str(p): port for p, port in enumerate(self._ports)}
+        for p, port in enumerate(self._ports):
+            framer = await open_framer("127.0.0.1", port)
+            await framer.send({"kind": "hello", "role": "router"})
+            await framer.send({"kind": "peers", "ports": ports})
+            self._framers[p] = framer
+            self.alive.add(p)
+        for p in range(self.n_places):
+            self._readers.append(
+                asyncio.ensure_future(self._reader(p)))
+
+    async def stop(self) -> None:
+        """Collect final place counters and shut everything down."""
+        self._stopping = True
+        for p in sorted(self.alive):
+            framer = self._framers.get(p)
+            if framer is None:
+                continue
+            waiter = asyncio.get_running_loop().create_future()
+            self._stats_waiters[p] = waiter
+            try:
+                await framer.send({"kind": "stats"})
+                self.place_counters[p] = await asyncio.wait_for(waiter, 5.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+            finally:
+                self._stats_waiters.pop(p, None)
+        for p in sorted(self.alive):
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._framers[p].send({"kind": "stop"})
+        for task in self._readers:
+            task.cancel()
+        await asyncio.gather(*self._readers, return_exceptions=True)
+        for framer in self._framers.values():
+            await framer.close()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._join_processes)
+
+    def _join_processes(self) -> None:
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    # -- submission & dispatch ---------------------------------------------
+    async def submit(self, task: dict) -> RequestRecord:
+        """Enter one request into the ledger and dispatch it."""
+        if not self._started:
+            raise ServeError("service not started")
+        rid = task["id"]
+        if rid in self.records:
+            raise ServeError(f"duplicate request id {rid}")
+        rec = RequestRecord(task=dict(task), t_submit=time.perf_counter())
+        self.records[rid] = rec
+        self.counters["offered"] += 1
+        await self._dispatch(rec, force=False)
+        return rec
+
+    async def _dispatch(self, rec: RequestRecord, force: bool) -> None:
+        task = rec.task
+        if not task["flexible"] and task["home"] not in self.alive:
+            self._sensitive_orphan(rec)
+            if rec.terminal:
+                return
+        target = self.dispatcher.place_for(task, sorted(self.alive))
+        if target is None:
+            self._complete(rec, OUTCOME_FAILED)
+            self.counters["failed_no_survivors"] += 1
+            return
+        rec.where = target
+        try:
+            await self._framers[target].send(
+                {"kind": "enqueue", "task": task, "force": force})
+        except (ConnectionError, OSError):
+            # The place died under us.  ``rec.where`` already points at
+            # it, so the death sweep re-dispatches this request along
+            # with every other orphan — exactly once, not once per
+            # in-flight sender.
+            await self._mark_dead(target)
+
+    def _sensitive_orphan(self, rec: RequestRecord) -> None:
+        """Apply the sensitive policy to a home-less sticky request."""
+        if self.policy is SensitivePolicy.RELAX:
+            rec.task["flexible"] = True
+            rec.task["relaxed"] = True
+            rec.relaxed = True
+            self.counters["relaxed_sensitive"] += 1
+        else:
+            self._complete(rec, OUTCOME_FAILED)
+            self.counters["failed_sensitive"] += 1
+
+    def _complete(self, rec: RequestRecord, outcome: str,
+                  place: Optional[int] = None,
+                  warm: Optional[bool] = None) -> None:
+        rec.outcome = outcome
+        rec.place = place
+        rec.warm = warm
+        rec.t_done = time.perf_counter()
+        self.counters[f"done_{outcome}"] += 1
+        if not rec.future.done():
+            rec.future.set_result(rec)
+
+    # -- place streams -----------------------------------------------------
+    async def _reader(self, p: int) -> None:
+        framer = self._framers[p]
+        try:
+            while True:
+                msg = await framer.recv()
+                if msg is None:
+                    break
+                self._on_message(p, msg)
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            if not self._stopping:
+                await self._mark_dead(p)
+
+    def _on_message(self, p: int, msg: dict) -> None:
+        kind = msg["kind"]
+        if kind == "response":
+            rec = self.records.get(msg["id"])
+            if rec is None:
+                return
+            if rec.terminal:
+                self.counters["duplicate_responses"] += 1
+                return
+            if msg.get("misplaced"):
+                self.counters["misplaced"] += 1
+                self._complete(rec, OUTCOME_FAILED, place=msg["place"])
+                return
+            self._complete(rec, OUTCOME_OK, place=msg["place"],
+                           warm=msg.get("warm"))
+        elif kind == "ack":
+            rec = self.records.get(msg["id"])
+            if rec is None or rec.terminal:
+                return
+            if msg["accepted"]:
+                if not rec.accepted:
+                    rec.accepted = True
+                    self.counters["accepted"] += 1
+            else:
+                self.counters["shed"] += 1
+                self._complete(rec, OUTCOME_SHED)
+        elif kind == "stolen":
+            rec = self.records.get(msg["id"])
+            if rec is not None and not rec.terminal:
+                rec.where = msg["to"]
+                self.counters["migrations"] += 1
+        elif kind == "stats":
+            waiter = self._stats_waiters.get(p)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(msg["counters"])
+
+    # -- failure handling --------------------------------------------------
+    async def _mark_dead(self, p: int) -> None:
+        if p not in self.alive:
+            return
+        self.alive.discard(p)
+        self.counters["place_deaths"] += 1
+        orphans = [rec for rec in self.records.values()
+                   if not rec.terminal and rec.where == p]
+        for rec in orphans:
+            if not rec.task["flexible"]:
+                self._sensitive_orphan(rec)
+                if rec.terminal:
+                    continue
+            self.counters["redispatched"] += 1
+            await self._dispatch(rec, force=True)
+
+    def kill_place(self, p: int) -> None:
+        """SIGKILL a live place process (fault injection)."""
+        if not (0 <= p < self.n_places):
+            raise ConfigError(f"no such place: {p}")
+        proc = self._procs[p]
+        if proc.pid is None or not proc.is_alive():
+            return
+        self.counters["kills"] += 1
+        os.kill(proc.pid, signal.SIGKILL)
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Router + per-place counters (deterministically ordered)."""
+        return {
+            "router": {k: self.counters[k] for k in sorted(self.counters)},
+            "places": {str(p): {k: c[k] for k in sorted(c)}
+                       for p, c in sorted(self.place_counters.items())},
+        }
+
+    async def __aenter__(self) -> "ServeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

@@ -95,6 +95,64 @@ class TestLocality:
         assert ex.stats["remote_steals"] >= 0  # counter exists; no leak
 
 
+class TestCancellation:
+    def test_cancelled_future_does_not_kill_worker(self):
+        gate = threading.Event()
+        with LiveExecutor(n_places=1, workers_per_place=1) as ex:
+            blocker = ex.submit(gate.wait, 5)
+            queued = ex.submit(lambda: "never")
+            assert queued.cancel()
+            gate.set()
+            assert blocker.result(timeout=5) is True
+            # The worker must have survived skipping the cancelled task.
+            assert ex.submit(lambda: 42).result(timeout=5) == 42
+            assert queued.cancelled()
+        assert ex.stats["cancelled"] == 1
+
+    def test_running_task_is_not_cancellable(self):
+        started = threading.Event()
+        gate = threading.Event()
+
+        def block():
+            started.set()
+            gate.wait(5)
+            return "done"
+
+        with LiveExecutor(n_places=1, workers_per_place=1) as ex:
+            f = ex.submit(block)
+            assert started.wait(timeout=5)
+            assert not f.cancel()
+            gate.set()
+            assert f.result(timeout=5) == "done"
+
+
+class TestJoin:
+    def test_join_timeout_raises(self):
+        gate = threading.Event()
+        ex = LiveExecutor(n_places=1, workers_per_place=1)
+        try:
+            ex.submit(gate.wait, 5)
+            with pytest.raises(TimeoutError):
+                ex.join(timeout=0.05)
+        finally:
+            gate.set()
+            ex.shutdown()
+
+    def test_join_wakes_when_last_task_completes(self):
+        import time
+
+        with LiveExecutor(n_places=2, workers_per_place=2) as ex:
+            for i in range(32):
+                ex.submit(time.sleep, 0.001, place=i % 2, flexible=True)
+            t0 = time.perf_counter()
+            ex.join(timeout=10)
+            assert time.perf_counter() - t0 < 10
+        # After join, nothing is pending and a fresh join returns at once.
+        ex2 = LiveExecutor()
+        ex2.join(timeout=0.01)
+        ex2.shutdown()
+
+
 class TestCounters:
     def test_stats_account_pops_and_steals(self):
         with LiveExecutor(n_places=2, workers_per_place=2) as ex:

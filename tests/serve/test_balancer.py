@@ -1,0 +1,86 @@
+"""Tests for the balancer registry and router-side dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.balancer import BALANCERS, Dispatcher, get_balancer
+
+
+def sticky(home: int) -> dict:
+    return {"home": home, "flexible": False}
+
+
+def flex(home: int) -> dict:
+    return {"home": home, "flexible": True}
+
+
+class TestRegistry:
+    def test_known_balancers(self):
+        assert set(BALANCERS) == {"selective", "round-robin", "random"}
+        assert BALANCERS["selective"].steal is True
+        assert BALANCERS["round-robin"].steal is False
+
+    def test_lookup_case_insensitive(self):
+        assert get_balancer("Selective") is BALANCERS["selective"]
+        assert get_balancer("ROUND-ROBIN") is BALANCERS["round-robin"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown balancer"):
+            get_balancer("least-loaded")
+
+
+class TestStickyDispatch:
+    """Sticky placement is policy-independent: home or nothing."""
+
+    @pytest.mark.parametrize("name", sorted(BALANCERS))
+    def test_sticky_goes_home(self, name):
+        d = Dispatcher(BALANCERS[name], 4)
+        for home in range(4):
+            assert d.place_for(sticky(home), [0, 1, 2, 3]) == home
+
+    @pytest.mark.parametrize("name", sorted(BALANCERS))
+    def test_sticky_with_dead_home_gets_none(self, name):
+        d = Dispatcher(BALANCERS[name], 4)
+        assert d.place_for(sticky(2), [0, 1, 3]) is None
+
+    def test_no_survivors_gets_none(self):
+        d = Dispatcher(BALANCERS["selective"], 4)
+        assert d.place_for(flex(0), []) is None
+
+
+class TestFlexibleDispatch:
+    def test_selective_dispatches_to_home(self):
+        d = Dispatcher(BALANCERS["selective"], 4)
+        for home in range(4):
+            assert d.place_for(flex(home), [0, 1, 2, 3]) == home
+
+    def test_selective_falls_back_to_survivor_when_home_dead(self):
+        d = Dispatcher(BALANCERS["selective"], 4)
+        for _ in range(50):
+            target = d.place_for(flex(1), [0, 2, 3])
+            assert target in (0, 2, 3)
+
+    def test_round_robin_cycles_evenly(self):
+        d = Dispatcher(BALANCERS["round-robin"], 4)
+        targets = [d.place_for(flex(0), [0, 1, 2, 3]) for _ in range(8)]
+        assert targets == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_round_robin_skips_dead_places(self):
+        d = Dispatcher(BALANCERS["round-robin"], 4)
+        targets = [d.place_for(flex(0), [0, 2]) for _ in range(6)]
+        assert set(targets) == {0, 2}
+        assert targets[:4] == [0, 2, 0, 2]
+
+    def test_random_only_picks_alive(self):
+        d = Dispatcher(BALANCERS["random"], 4, seed=3)
+        targets = {d.place_for(flex(1), [1, 3]) for _ in range(64)}
+        assert targets == {1, 3}
+
+    def test_random_seeded_deterministic(self):
+        a = Dispatcher(BALANCERS["random"], 4, seed=5)
+        b = Dispatcher(BALANCERS["random"], 4, seed=5)
+        picks_a = [a.place_for(flex(0), [0, 1, 2, 3]) for _ in range(20)]
+        picks_b = [b.place_for(flex(0), [0, 1, 2, 3]) for _ in range(20)]
+        assert picks_a == picks_b

@@ -1,0 +1,70 @@
+"""Tests for the ``repro serve`` / ``repro loadgen`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+import xml.dom.minidom
+
+import pytest
+
+from repro.__main__ import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestLoadgenCli:
+    def test_embedded_benchmark_writes_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        svg = tmp_path / "serve.svg"
+        code = main(["loadgen", "--rate", "60", "--duration", "1",
+                     "--places", "2", "--service-ms", "4",
+                     "--seed", "5", "--balancer", "selective",
+                     "--out", str(out), "--svg", str(svg)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "serve benchmark" in printed
+        assert "selective" in printed
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "serve"
+        cell = report["cells"][0]
+        assert cell["requests"]["ok"] > 0
+        assert cell["requests"]["ok"] + cell["requests"]["shed"] \
+            + cell["requests"]["failed"] == cell["requests"]["offered"]
+        assert cell["latency_ms"]["all"]["p99"] > 0
+        dom = xml.dom.minidom.parse(str(svg))
+        assert dom.documentElement.tagName == "svg"
+
+    def test_faults_flag_drives_kill_schedule(self, capsys, tmp_path):
+        out = tmp_path / "faulty.json"
+        code = main(["loadgen", "--rate", "80", "--duration", "1.2",
+                     "--places", "2", "--service-ms", "4", "--seed", "6",
+                     "--balancer", "selective",
+                     "--faults", "crash:p1@0.5,policy:relax",
+                     "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        cell = report["cells"][0]
+        assert cell["config"]["faults"] is True
+        assert cell["config"]["policy"] == "relax"
+        assert cell["counters"]["router"]["place_deaths"] == 1
+        req = cell["requests"]
+        assert req["ok"] + req["shed"] + req["failed"] == req["offered"]
+        # lost is not a key: every request reached a terminal outcome.
+        assert "lost" not in {k.split("_")[-1] for k in
+                              cell["counters"]["router"]}
+
+    def test_bad_balancer_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--balancer", "least-loaded"])
+
+    def test_bad_faults_spec_is_config_error(self):
+        assert main(["loadgen", "--rate", "10", "--duration", "0.2",
+                     "--faults", "explode:p1@0.5"]) == 2
+
+    def test_bad_connect_string_is_config_error(self):
+        assert main(["loadgen", "--connect", "nonsense"]) == 2
+
+
+class TestServeCli:
+    def test_serve_rejects_fractional_crash_times(self):
+        assert main(["serve", "--faults", "crash:p0@0.5"]) == 2

@@ -1,0 +1,113 @@
+"""Tests for the serve wire protocol (framing layer)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    Framer,
+    ProtocolError,
+    encode,
+    open_framer,
+    read_msg,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def read_fed(data: bytes):
+    """Run read_msg over a pre-fed, EOF-terminated stream."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_msg(reader)
+
+    return run(scenario())
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        msg = {"kind": "enqueue", "task": {"id": 7, "home": 2}}
+        data = encode(msg)
+        (size,) = HEADER.unpack(data[:HEADER.size])
+        assert size == len(data) - HEADER.size
+        assert json.loads(data[HEADER.size:]) == msg
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode({"kind": "x", "blob": "y" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestReadMsg:
+    def test_reads_frames_then_clean_eof(self):
+        a = {"kind": "hello", "role": "router"}
+        b = {"kind": "stop"}
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode(a) + encode(b))
+            reader.feed_eof()
+            assert await read_msg(reader) == a
+            assert await read_msg(reader) == b
+            assert await read_msg(reader) is None
+
+        run(scenario())
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            read_fed(b"\x00\x00")
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_fed(encode({"kind": "stop"})[:-1])
+
+    def test_corrupt_length_prefix_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_fed(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+    def test_non_json_payload_rejected(self):
+        body = b"\xff\xfenot json"
+        with pytest.raises(ProtocolError, match="bad frame payload"):
+            read_fed(HEADER.pack(len(body)) + body)
+
+    def test_json_without_kind_rejected(self):
+        body = json.dumps({"no": "kind"}).encode()
+        with pytest.raises(ProtocolError, match="not a message"):
+            read_fed(HEADER.pack(len(body)) + body)
+
+
+class TestFramer:
+    def test_socket_roundtrip(self):
+        """Full-duplex echo over a real loopback socket."""
+
+        async def scenario():
+            async def echo(reader, writer):
+                framer = Framer(reader, writer)
+                while True:
+                    msg = await framer.recv()
+                    if msg is None:
+                        break
+                    await framer.send({"kind": "echo", "of": msg})
+                await framer.close()
+
+            server = await asyncio.start_server(echo, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await open_framer("127.0.0.1", port)
+            await client.send({"kind": "ping", "n": 1})
+            reply = await client.recv()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return reply
+
+        reply = run(scenario())
+        assert reply == {"kind": "echo", "of": {"kind": "ping", "n": 1}}

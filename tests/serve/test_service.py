@@ -1,0 +1,282 @@
+"""End-to-end tests for the multi-process serving tier.
+
+These spawn real place processes (spawn context) and drive them over
+loopback sockets, so they are kept small: short traces, few places.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, SensitivePolicy
+from repro.serve import (
+    ServeService,
+    TrafficSpec,
+    crash_schedule,
+    drive_embedded,
+    make_trace,
+)
+from repro.serve.protocol import ServeError
+
+pytestmark = pytest.mark.slow
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def drive(trace, kills=(), **service_kwargs):
+    async def scenario():
+        service = ServeService(**service_kwargs)
+        async with service:
+            records = await drive_embedded(service, trace, kills)
+        return service, records
+
+    return run(scenario())
+
+
+def small_trace(**overrides) -> list:
+    spec = TrafficSpec(**{"rate": 150.0, "duration_s": 1.0,
+                          "n_places": 2, "seed": 4, "service_ms": 4.0,
+                          **overrides})
+    return make_trace(spec)
+
+
+class TestRoundtrip:
+    def test_all_requests_complete_ok(self):
+        trace = small_trace()
+        service, records = drive(trace, n_places=2, workers_per_place=2)
+        assert len(records) == len(trace)
+        assert all(r.outcome == "ok" for r in records)
+        assert service.counters["done_ok"] == len(trace)
+        # Router accounting is conserved.
+        assert service.counters["offered"] == len(trace)
+
+    def test_sticky_requests_execute_at_home_warm(self):
+        trace = small_trace(sticky_fraction=1.0)
+        service, records = drive(trace, n_places=2, workers_per_place=2)
+        for rec in records:
+            assert rec.outcome == "ok"
+            assert rec.place == rec.task["home"]
+            assert rec.warm is True
+        assert service.counters["misplaced"] == 0
+        for counters in service.place_counters.values():
+            assert counters.get("misrouted", 0) == 0
+            assert counters.get("misplaced", 0) == 0
+            assert counters.get("executed_cold", 0) == 0
+
+    def test_duplicate_request_id_rejected(self):
+        async def scenario():
+            service = ServeService(n_places=1, workers_per_place=1)
+            async with service:
+                task = {"id": 1, "cls": "flex", "home": 0,
+                        "flexible": True, "service_ms": 1.0}
+                rec = await service.submit(task)
+                with pytest.raises(ServeError, match="duplicate"):
+                    await service.submit(task)
+                await rec.future
+
+        run(scenario())
+
+    def test_submit_before_start_rejected(self):
+        async def scenario():
+            service = ServeService(n_places=1)
+            with pytest.raises(ServeError, match="not started"):
+                await service.submit({"id": 0, "cls": "flex", "home": 0,
+                                      "flexible": True,
+                                      "service_ms": 1.0})
+
+        run(scenario())
+
+
+class TestStealing:
+    def test_selective_migrates_flexible_spillover(self):
+        # Everything is flexible and homed at place 0: its two workers
+        # saturate and the other place must steal the overflow.
+        trace = small_trace(rate=250.0, sticky_fraction=0.0, skew=50.0,
+                            hot_place=0, service_ms=8.0)
+        assert all(a.home == 0 for a in trace)
+        service, records = drive(trace, n_places=2, workers_per_place=2,
+                                 balancer="selective")
+        assert all(r.outcome == "ok" for r in records)
+        migrated = [r for r in records if r.place != 0]
+        assert migrated, "no request was stolen to the idle place"
+        assert service.counters["migrations"] >= len(migrated)
+        # Migration is observable end to end: stolen work ran cold.
+        assert all(r.warm is False for r in migrated)
+
+    def test_round_robin_never_steals(self):
+        trace = small_trace(rate=250.0, sticky_fraction=0.0, skew=50.0,
+                            hot_place=0, service_ms=8.0)
+        service, records = drive(trace, n_places=2, workers_per_place=2,
+                                 balancer="round-robin")
+        assert all(r.outcome == "ok" for r in records)
+        assert service.counters["migrations"] == 0
+        for counters in service.place_counters.values():
+            assert counters.get("steals_out", 0) == 0
+            assert counters.get("steal_probes", 0) == 0
+
+
+class TestOverload:
+    def test_bounded_queues_shed_instead_of_queueing(self):
+        # 2x the service capacity of one place, tiny queue bounds.
+        trace = small_trace(rate=400.0, duration_s=1.5, n_places=1,
+                            sticky_fraction=0.0, service_ms=10.0)
+        service, records = drive(trace, n_places=1, workers_per_place=2,
+                                 shared_cap=8, private_cap=4)
+        outcomes = {r.outcome for r in records}
+        assert outcomes == {"ok", "shed"}
+        ok = [r for r in records if r.outcome == "ok"]
+        shed = [r for r in records if r.outcome == "shed"]
+        assert shed, "overload never shed despite bounded queues"
+        assert service.counters["shed"] == len(shed)
+        # Accepted requests keep bounded latency: at most roughly the
+        # queue bound times the service time (plus slack), never the
+        # unbounded backlog of the whole 2x-overloaded trace.
+        worst = max(r.latency_s for r in ok)
+        assert worst < 0.5, f"accepted p100 {worst:.3f}s not bounded"
+        # Conservation: every offered request has exactly one outcome.
+        assert len(ok) + len(shed) == len(trace)
+
+
+class TestCrashFailover:
+    def kill_mid_trace(self, policy):
+        trace = small_trace(rate=200.0, duration_s=1.6, n_places=2,
+                            sticky_fraction=0.5, service_ms=5.0)
+        plan = FaultPlan.parse("crash:p1@0.5,policy:" + policy.value)
+        kills = crash_schedule(plan, 1.6)
+        assert kills == [(0.8, 1)]
+        return drive(trace, kills, n_places=2, workers_per_place=2,
+                     policy=policy), trace
+
+    def test_kill_with_relax_loses_nothing(self):
+        (service, records), trace = self.kill_mid_trace(
+            SensitivePolicy.RELAX)
+        assert service.counters["place_deaths"] == 1
+        # Exactly-once completion for every request: all terminal,
+        # nothing lost, nothing double-completed.
+        assert all(r.terminal for r in records)
+        assert len(records) == len(trace)
+        by_outcome = {}
+        for r in records:
+            by_outcome.setdefault(r.outcome, []).append(r)
+        assert set(by_outcome) <= {"ok", "shed"}
+        # Orphans were re-dispatched, and relaxed sticky requests
+        # finished on the survivor.
+        relaxed = [r for r in records if r.relaxed]
+        if service.counters["redispatched"]:
+            assert all(r.outcome == "ok" for r in relaxed)
+            assert all(r.place == 0 for r in relaxed)
+        # An accepted request is never shed after the fact.
+        assert not any(r.accepted and r.outcome == "shed"
+                       for r in records)
+
+    def test_kill_with_fail_fast_fails_only_sticky(self):
+        (service, records), trace = self.kill_mid_trace(
+            SensitivePolicy.FAIL_FAST)
+        assert all(r.terminal for r in records)
+        failed = [r for r in records if r.outcome == "failed"]
+        # Sticky requests bound to the dead place fail fast...
+        assert failed, "no sticky request was orphaned by the crash"
+        assert all(not r.task["flexible"] for r in failed)
+        assert all(r.task["home"] == 1 for r in failed)
+        # ...while flexible orphans are re-dispatched and complete.
+        flex = [r for r in records if r.task["flexible"]]
+        assert all(r.outcome in ("ok", "shed") for r in flex)
+        assert service.counters["failed_sensitive"] == len(failed)
+
+    def test_sticky_dispatch_to_dead_place_applies_policy(self):
+        async def scenario():
+            service = ServeService(n_places=2, workers_per_place=1,
+                                   policy=SensitivePolicy.FAIL_FAST)
+            async with service:
+                service.kill_place(1)
+                await asyncio.sleep(0.3)  # reader notices the EOF
+                rec = await service.submit(
+                    {"id": 0, "cls": "sticky", "home": 1,
+                     "flexible": False, "service_ms": 1.0})
+                await asyncio.wait_for(rec.future, 5.0)
+                return rec
+
+        rec = run(scenario())
+        assert rec.outcome == "failed"
+
+    def test_crash_schedule_rejects_simulator_only_tokens(self):
+        with pytest.raises(ConfigError, match="simulator-only"):
+            crash_schedule(FaultPlan.parse("loss:steal=0.1"), 1.0)
+
+    def test_crash_schedule_resolves_fractions(self):
+        plan = FaultPlan.parse("crash:p0@0.25,crash:p1@3")
+        assert crash_schedule(plan, 8.0) == [(2.0, 0), (3.0, 1)]
+
+
+class TestConfig:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeService(n_places=0)
+        with pytest.raises(ConfigError):
+            ServeService(workers_per_place=0)
+
+    def test_unknown_balancer_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeService(balancer="least-loaded")
+
+    def test_kill_place_validates_index(self):
+        service = ServeService(n_places=2)
+        with pytest.raises(ConfigError):
+            service.kill_place(7)
+
+
+class TestRemoteFrontend:
+    def test_hello_rescales_homes_to_server_places(self):
+        """A loadgen spec with more places than the server must not
+        fail sticky requests: the hello handshake reports the real
+        place count and the trace is drawn against it."""
+        from repro.serve import drive_remote, run_frontend
+
+        traffic = TrafficSpec(rate=60.0, duration_s=1.0, n_places=4,
+                              seed=9, service_ms=4.0,
+                              sticky_fraction=1.0, hot_place=3)
+
+        async def scenario():
+            service = ServeService(n_places=2, workers_per_place=2)
+            async with service:
+                server = await run_frontend(service, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    result = await drive_remote("127.0.0.1", port,
+                                                traffic)
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            return result
+
+        recorder, snapshot, replayed = run(scenario())
+        assert replayed.n_places == 2 and replayed.hot_place <= 1
+        req = recorder.requests_block()
+        assert req["failed"] == 0 and req["ok"] == req["offered"] > 0
+        assert snapshot["router"]["done_ok"] == req["ok"]
+
+    def test_non_frontend_peer_fails_handshake(self):
+        from repro.serve import drive_remote
+        from repro.serve.protocol import ProtocolError
+
+        traffic = TrafficSpec(rate=10.0, duration_s=0.2, n_places=2)
+
+        async def scenario():
+            async def mute(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(ProtocolError, match="hello"):
+                    await drive_remote("127.0.0.1", port, traffic)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())

@@ -1,0 +1,144 @@
+"""Tests for the open-loop traffic generator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.traffic import CLS_FLEX, CLS_STICKY, TrafficSpec, make_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        spec = TrafficSpec(rate=300, duration_s=2.0, seed=42)
+        assert make_trace(spec) == make_trace(spec)
+
+    def test_different_seed_different_trace(self):
+        a = make_trace(TrafficSpec(rate=300, duration_s=2.0, seed=1))
+        b = make_trace(TrafficSpec(rate=300, duration_s=2.0, seed=2))
+        assert a != b
+
+    def test_mix_stream_independent_of_envelope(self):
+        """Changing the envelope must not reshuffle per-request draws."""
+        poisson = make_trace(TrafficSpec(pattern="poisson", rate=200,
+                                         duration_s=2.0, seed=5))
+        bursty = make_trace(TrafficSpec(pattern="bursty", rate=200,
+                                        duration_s=2.0, seed=5))
+        n = min(len(poisson), len(bursty))
+        assert [a.cls for a in poisson[:n]] == [a.cls for a in bursty[:n]]
+        assert [a.home for a in poisson[:n]] == [a.home for a in bursty[:n]]
+
+
+class TestPoisson:
+    def test_mean_interarrival_matches_rate(self):
+        spec = TrafficSpec(rate=500.0, duration_s=20.0, seed=3)
+        trace = make_trace(spec)
+        # ~10k arrivals; the empirical rate should be within 5%.
+        assert len(trace) / spec.duration_s == \
+            pytest.approx(spec.rate, rel=0.05)
+        gaps = [b.t - a.t for a, b in zip(trace, trace[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(1 / spec.rate,
+                                                      rel=0.05)
+
+    def test_timestamps_sorted_and_in_range(self):
+        trace = make_trace(TrafficSpec(rate=200, duration_s=3.0, seed=9))
+        ts = [a.t for a in trace]
+        assert ts == sorted(ts)
+        assert 0 <= ts[0] and ts[-1] < 3.0
+        assert [a.rid for a in trace] == list(range(len(trace)))
+
+
+class TestEnvelopes:
+    def test_bursty_on_off_contrast(self):
+        spec = TrafficSpec(pattern="bursty", rate=400, duration_s=10.0,
+                           seed=11, burst_factor=4.0, burst_fraction=0.25,
+                           burst_period_s=1.0)
+        trace = make_trace(spec)
+        in_burst = sum(1 for a in trace if (a.t % 1.0) < 0.25)
+        out = len(trace) - in_burst
+        # Burst windows are 25% of the time at 4x the off-burst rate:
+        # they should hold about half the arrivals (ratio ~4x per-second).
+        burst_rate = in_burst / (0.25 * spec.duration_s)
+        off_rate = out / (0.75 * spec.duration_s)
+        assert burst_rate / off_rate == pytest.approx(4.0, rel=0.2)
+        # The mean offered rate still honours the spec.
+        assert len(trace) / spec.duration_s == pytest.approx(400, rel=0.1)
+
+    def test_diurnal_peak_mid_trace(self):
+        spec = TrafficSpec(pattern="diurnal", rate=400, duration_s=10.0,
+                           seed=13, diurnal_trough=0.2)
+        trace = make_trace(spec)
+        thirds = [0, 0, 0]
+        for a in trace:
+            thirds[min(2, int(3 * a.t / spec.duration_s))] += 1
+        # Raised-cosine day: the middle third is the peak, the edges
+        # are troughs of roughly equal height.
+        assert thirds[1] > 1.5 * thirds[0]
+        assert thirds[1] > 1.5 * thirds[2]
+
+    def test_rate_at_mean_matches_target(self):
+        for pattern in ("bursty", "diurnal"):
+            spec = TrafficSpec(pattern=pattern, rate=300, duration_s=4.0)
+            xs = [i * spec.duration_s / 4000 for i in range(4000)]
+            mean = sum(spec.rate_at(x) for x in xs) / len(xs)
+            assert mean == pytest.approx(300, rel=0.02), pattern
+            assert max(spec.rate_at(x) for x in xs) \
+                <= spec.peak_rate() * (1 + 1e-9)
+
+
+class TestMix:
+    def test_sticky_fraction_respected(self):
+        trace = make_trace(TrafficSpec(rate=500, duration_s=10.0, seed=7,
+                                       sticky_fraction=0.3))
+        sticky = [a for a in trace if a.cls == CLS_STICKY]
+        assert len(sticky) / len(trace) == pytest.approx(0.3, abs=0.03)
+        for a in trace:
+            assert a.flexible == (a.cls == CLS_FLEX)
+
+    def test_zipf_skew_concentrates_on_hot_place(self):
+        spec = TrafficSpec(rate=500, duration_s=10.0, seed=7,
+                           n_places=4, skew=1.5, hot_place=2)
+        trace = make_trace(spec)
+        counts = [0] * 4
+        for a in trace:
+            counts[a.home] += 1
+        assert counts[2] == max(counts)
+        expected_hot = 1.0 / sum(1 / (r + 1) ** 1.5 for r in range(4))
+        assert counts[2] / len(trace) == pytest.approx(expected_hot,
+                                                       abs=0.03)
+
+    def test_service_jitter_bounded(self):
+        spec = TrafficSpec(rate=300, duration_s=5.0, seed=1,
+                           service_ms=10.0, service_jitter=0.2)
+        trace = make_trace(spec)
+        lo, hi = min(a.service_ms for a in trace), \
+            max(a.service_ms for a in trace)
+        assert 8.0 <= lo <= hi <= 12.0
+        assert hi - lo > 1.0  # jitter actually applied
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"pattern": "nope"},
+        {"rate": 0},
+        {"duration_s": -1},
+        {"n_places": 0},
+        {"sticky_fraction": 1.5},
+        {"service_jitter": 1.0},
+        {"hot_place": 9},
+        {"pattern": "bursty", "burst_factor": 0.5},
+        {"pattern": "bursty", "burst_fraction": 1.0},
+        {"pattern": "diurnal", "diurnal_trough": 0.0},
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            make_trace(TrafficSpec(**kwargs))
+
+    def test_payload_shape(self):
+        a = make_trace(TrafficSpec(rate=50, duration_s=1.0, seed=0))[0]
+        p = a.payload()
+        assert set(p) == {"id", "cls", "home", "flexible", "service_ms",
+                          "cpu_ms"}
+        assert not math.isnan(p["service_ms"])

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the live serving tier (CI serve-smoke job).
+
+Runs a short Poisson trace against a real 2-place × 2-worker service
+(one OS process per place, loopback sockets), SIGKILLs one place
+mid-trace, and checks the contracts ``repro serve`` promises:
+
+1. **no losses** — every offered request reaches exactly one terminal
+   outcome; no accepted request is shed after the fact or left pending
+   (the exactly-once completion ledger survives the crash);
+2. **locality** — no locality-sensitive request ever executes off its
+   home place (``misrouted``/``misplaced`` both zero; non-relaxed
+   sticky completions are all warm and at home);
+3. **failover** — the kill actually happened and orphans were
+   re-dispatched to the survivor per the relax policy;
+4. **report** — the latency report is well-formed: bench schema,
+   per-class p50/p90/p99 populated, goodput consistent with the ok
+   count, SVG figure valid XML.
+
+Exit 1 on any violation.
+
+Usage:
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+import xml.etree.ElementTree as ET
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeService,
+    TrafficSpec,
+    crash_schedule,
+    drive_embedded,
+    make_trace,
+)
+from repro.serve.recorder import (  # noqa: E402
+    LatencyRecorder,
+    build_report,
+    report_svg,
+)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--rate", type=float, default=150.0)
+    ap.add_argument("--duration", type=float, default=2.0)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args()
+
+    # The hot place is the one that gets killed, so there is always a
+    # backlog in flight there when the SIGKILL lands — the failover
+    # path is exercised on every run, not only on lucky timing.
+    traffic = TrafficSpec(rate=args.rate, duration_s=args.duration,
+                          n_places=2, seed=args.seed, service_ms=15.0,
+                          sticky_fraction=0.5, skew=1.5, hot_place=1)
+    trace = make_trace(traffic)
+    plan = FaultPlan.parse("crash:p1@0.5,policy:relax")
+    kills = crash_schedule(plan, traffic.duration_s)
+
+    async def scenario():
+        service = ServeService(n_places=2, workers_per_place=2,
+                               balancer="selective",
+                               policy=plan.sensitive_policy,
+                               seed=args.seed)
+        async with service:
+            records = await drive_embedded(service, trace, kills)
+        return service, records
+
+    wall_t0 = time.perf_counter()
+    service, records = asyncio.run(scenario())
+    wall = time.perf_counter() - wall_t0
+
+    failures = []
+
+    # 1. Exactly-once terminal outcomes; no accepted request lost/shed.
+    pending = [r for r in records if not r.terminal]
+    if pending:
+        failures.append(f"{len(pending)} request(s) never reached a "
+                        "terminal outcome (lost)")
+    if len(records) != len(trace):
+        failures.append(f"ledger holds {len(records)} records for "
+                        f"{len(trace)} offered requests")
+    post_hoc_shed = [r for r in records
+                    if r.accepted and r.outcome == "shed"]
+    if post_hoc_shed:
+        failures.append(f"{len(post_hoc_shed)} accepted request(s) "
+                        "were shed after the fact")
+    failed = [r for r in records if r.outcome == "failed"]
+    if failed:
+        failures.append(f"{len(failed)} request(s) failed under "
+                        "policy:relax (expected zero)")
+
+    # 2. Locality: sensitive requests never execute off-home.
+    off_home = [r for r in records
+                if r.outcome == "ok" and not r.relaxed
+                and not r.task["flexible"]
+                and r.place != r.task["home"]]
+    if off_home:
+        failures.append(f"{len(off_home)} sensitive request(s) executed "
+                        "off their home place")
+    router = service.counters
+    if router.get("misplaced", 0):
+        failures.append("router saw misplaced executions")
+    for p, counters in service.place_counters.items():
+        for key in ("misrouted", "misplaced"):
+            if counters.get(key, 0):
+                failures.append(f"place {p} counted {key}="
+                                f"{counters[key]}")
+
+    # 3. The crash actually happened and failover engaged.
+    if router.get("kills", 0) != 1 or router.get("place_deaths", 0) != 1:
+        failures.append(f"expected exactly one kill/death, got "
+                        f"kills={router.get('kills', 0)} "
+                        f"deaths={router.get('place_deaths', 0)}")
+    if not router.get("redispatched", 0):
+        failures.append("no orphan was re-dispatched after the kill")
+    if any(r.place != 0 for r in records
+           if r.outcome == "ok" and r.relaxed):
+        failures.append("a relaxed orphan completed on the dead place")
+
+    # 4. Report shape.
+    recorder = LatencyRecorder()
+    for rec in records:
+        recorder.record(rec.task["cls"], rec.outcome or "lost",
+                        latency_s=rec.latency_s, relaxed=rec.relaxed,
+                        warm=rec.warm)
+    report = build_report([recorder.cell(
+        "smoke|selective|2x2", {"balancer": "selective"},
+        traffic.duration_s, wall, service_counters=service.snapshot())])
+    cell = report["cells"][0]
+    if report.get("schema") != 1 or report.get("benchmark") != "serve":
+        failures.append("report header is not the bench schema")
+    for cls in ("all", "sticky", "flex"):
+        block = cell["latency_ms"][cls]
+        if block["count"] and not (0 < block["p50"] <= block["p90"]
+                                   <= block["p99"] <= block["max"]):
+            failures.append(f"latency block {cls} is not ordered: "
+                            f"{block}")
+    req = cell["requests"]
+    if req["ok"] + req["shed"] + req["failed"] != req["offered"]:
+        failures.append(f"request accounting not conserved: {req}")
+    if abs(cell["goodput_rps"] * traffic.duration_s - req["ok"]) > 1.0:
+        failures.append("goodput inconsistent with ok count")
+    try:
+        root = ET.fromstring(report_svg(report))
+        if not root.tag.endswith("svg"):
+            failures.append("latency figure is not an <svg> root")
+    except ET.ParseError as exc:
+        failures.append(f"latency figure is not well-formed XML: {exc}")
+
+    print(f"serve smoke: {req['offered']} offered, {req['ok']} ok, "
+          f"{req['shed']} shed, {router.get('redispatched', 0)} "
+          f"re-dispatched, {router.get('migrations', 0)} stolen, "
+          f"p99 {cell['latency_ms']['all']['p99']:.1f} ms "
+          f"({wall:.1f}s wall)")
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("all serve-tier invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
