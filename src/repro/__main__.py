@@ -156,6 +156,12 @@ def _cmd_bench(args) -> int:
     # gate CI's --quick smoke run against the same baseline file.
     cells = bench.QUICK_GRID if args.quick \
         else bench.DEFAULT_GRID + bench.QUICK_GRID
+    if args.profile:
+        # Profile-only mode: instrumented walls are meaningless, so no
+        # timing report is produced and no baseline gate applies.
+        for cell in cells:
+            print(bench.profile_cell(cell, top_n=args.profile_top))
+        return 0
     repeats = args.repeats if args.repeats is not None \
         else (2 if args.quick else 3)
     report = bench.run_grid(cells, repeats=repeats)
@@ -1229,6 +1235,14 @@ def main(argv=None) -> int:
                         metavar="PCT",
                         help="allowed normalized wall-clock regression "
                              "in percent (default 20)")
+    benchp.add_argument("--profile", action="store_true",
+                        help="run each cell once under cProfile and dump "
+                             "the hottest functions instead of timing "
+                             "(--out/--baseline are ignored)")
+    benchp.add_argument("--profile-top", type=_positive_int, default=25,
+                        metavar="N",
+                        help="functions shown per cell with --profile "
+                             "(default 25)")
 
     args = parser.parse_args(argv)
     from repro.errors import ConfigError

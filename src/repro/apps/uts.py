@@ -20,11 +20,37 @@ the same tree.
 from __future__ import annotations
 
 import hashlib
+from math import comb
 from typing import List, Optional
 
 from repro.apgas.api import Apgas
 from repro.apps.base import Application
 from repro.errors import AppError
+
+
+#: Per-(b0, decay, depth) binomial CDF partial sums.  The thresholds
+#: depend only on the tree parameters and the depth — never on the node —
+#: so each depth's CDF walk happens once per process instead of once per
+#: node.  The cached values are the *same floats* the inline loop
+#: produced (same accumulation order), so every ``u <= cdf`` comparison
+#: — and therefore the tree shape — is bit-identical.
+_CDF_CACHE: dict = {}
+
+
+def _cdf_thresholds(b0: int, decay: float, depth: int) -> List[float]:
+    key = (b0, decay, depth)
+    thresholds = _CDF_CACHE.get(key)
+    if thresholds is None:
+        mean = b0 * (decay ** depth)
+        n_trials = b0 * 2
+        p = min(0.99, mean / n_trials)
+        cdf = 0.0
+        thresholds = []
+        for k in range(n_trials + 1):
+            cdf += comb(n_trials, k) * (p ** k) * ((1 - p) ** (n_trials - k))
+            thresholds.append(cdf)
+        _CDF_CACHE[key] = thresholds
+    return thresholds
 
 
 def _child_count(tree_seed: int, node_id: str, depth: int,
@@ -35,18 +61,12 @@ def _child_count(tree_seed: int, node_id: str, depth: int,
     digest = hashlib.sha256(
         f"{tree_seed}/{node_id}".encode()).digest()
     u = int.from_bytes(digest[:8], "big") / 2 ** 64
-    mean = b0 * (decay ** depth)
-    # Inverse-binomial-ish draw: thresholds of a binomial(b0*2, p).
-    n_trials = b0 * 2
-    p = min(0.99, mean / n_trials)
-    # Walk the binomial CDF deterministically.
-    from math import comb
-    cdf = 0.0
-    for k in range(n_trials + 1):
-        cdf += comb(n_trials, k) * (p ** k) * ((1 - p) ** (n_trials - k))
+    # Inverse-binomial-ish draw: thresholds of a binomial(b0*2, p),
+    # walked deterministically (precomputed per depth).
+    for k, cdf in enumerate(_cdf_thresholds(b0, decay, depth)):
         if u <= cdf:
             return k
-    return n_trials
+    return b0 * 2
 
 
 class UTSApp(Application):

@@ -50,6 +50,13 @@ DEFAULT_GRID: List[Dict] = [
      "scale": "bench"},
     {"app": "mcpi", "scheduler": "DistWS", "places": 16, "workers": 8,
      "scale": "bench"},
+    # Raw kernel dispatch throughput: no runtime, no scheduler — just the
+    # event heap and the handle-based resume path, the surface the flat
+    # kernel rebuilt.  The app cells above measure the *simulator*
+    # (dominated by task bodies and policy code); this cell isolates the
+    # events/sec ceiling of the kernel itself.
+    {"app": "kernelspin", "scheduler": "flat", "places": 1, "workers": 4,
+     "scale": "bench", "events": 2_000_000},
 ]
 
 #: CI-sized subset: sub-second cells, same code paths.
@@ -97,11 +104,62 @@ def calibrate(rounds: int = 3) -> float:
     return 200_000 / best
 
 
+def run_spin_cell(cell: Dict, repeats: int = 3) -> Dict:
+    """Measure raw kernel dispatch: N sleep-resume events, no runtime.
+
+    ``workers`` concurrent spinner processes share every due time, so the
+    run loop's same-cycle batch drain is exercised on each clock step;
+    each event is one heap pop plus one handle-armed generator resume —
+    the kernel's hottest path stripped of simulator logic.
+    """
+    from repro.sim.engine import Environment
+
+    n_events = int(cell.get("events", 2_000_000))
+    n_spinners = max(1, int(cell["workers"]))
+    per = n_events // n_spinners
+    walls: List[float] = []
+    events = 0
+    now = 0.0
+    for _ in range(max(1, repeats)):
+        env = Environment()
+
+        def spinner(env: "Environment" = env, per: int = per):
+            sleep = env.sleep
+            for _ in range(per):
+                yield sleep(1.0)
+
+        for _ in range(n_spinners):
+            env.process(spinner())
+        t0 = time.perf_counter()
+        env.run()
+        walls.append(time.perf_counter() - t0)
+        events = env.events_processed
+        now = env.now
+    best = min(walls)
+    return {
+        "cell": cell_key(cell),
+        "config": dict(cell),
+        "repeats": len(walls),
+        "wall_seconds": [round(w, 6) for w in walls],
+        "best_wall_seconds": round(best, 6),
+        # Deterministic observables, same schema as the app cells: the
+        # drift guard catches a kernel change that alters event accounting.
+        "simulated": {"makespan_cycles": now, "tasks_executed": 0,
+                      "total_steals": 0},
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "events_processed": events,
+        "events_per_sec": round(events / best, 1),
+    }
+
+
 def run_cell(cell: Dict, repeats: int = 3) -> Dict:
     """Run one grid cell ``repeats`` times; report best wall + observables."""
     from repro import ClusterSpec, SimRuntime, make_scheduler
     from repro.apps import make_app
     from repro.runtime.task import _reset_task_ids
+
+    if cell["app"] == "kernelspin":
+        return run_spin_cell(cell, repeats=repeats)
 
     walls: List[float] = []
     events: Optional[int] = None
@@ -138,6 +196,45 @@ def run_cell(cell: Dict, repeats: int = 3) -> Dict:
         out["events_processed"] = events
         out["events_per_sec"] = round(events / best, 1)
     return out
+
+
+def profile_cell(cell: Dict, top_n: int = 25) -> str:
+    """Run one grid cell once under ``cProfile``; return the hot functions.
+
+    The profiled run is *separate* from any timed run — instrumentation
+    inflates wall time several-fold, so profile output and timing reports
+    must never mix.  Functions are ranked by ``tottime`` (self time), the
+    ranking that points at the simulator's actual hot loops rather than
+    the call-graph roots that merely contain them.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro import ClusterSpec, SimRuntime, make_scheduler
+    from repro.apps import make_app
+    from repro.runtime.task import _reset_task_ids
+
+    _reset_task_ids()
+    spec = ClusterSpec(n_places=cell["places"],
+                       workers_per_place=cell["workers"],
+                       max_threads=cell["workers"] + 4)
+    rt = SimRuntime(spec, make_scheduler(cell["scheduler"]),
+                    seed=cell.get("sched_seed", SCHED_SEED))
+    app = make_app(cell["app"], scale=cell["scale"],
+                   seed=cell.get("app_seed", APP_SEED))
+    prof = cProfile.Profile()
+    prof.enable()
+    app.run(rt, validate=False)
+    prof.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("tottime").print_stats(top_n)
+    events = getattr(rt.env, "events_processed", None)
+    head = f"=== profile: {cell_key(cell)}"
+    if events is not None:
+        head += f" ({events} events)"
+    return head + " ===\n" + buf.getvalue()
 
 
 def run_grid(cells: List[Dict], repeats: int = 3) -> Dict:

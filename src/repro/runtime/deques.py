@@ -30,18 +30,31 @@ from repro.sim.resources import SimLock
 
 
 class PrivateDeque:
-    """A worker's unsynchronized double-ended work queue."""
+    """A worker's unsynchronized double-ended work queue.
+
+    When constructed with ``place``/``owner`` backrefs (the runtime always
+    does; bare construction in tests skips this), every push/pop/steal
+    maintains the place's O(1) load counters — ``_n_private`` (total
+    privately queued tasks) and ``_n_spare`` (idle workers with empty
+    deques) — so Algorithm 1's per-spawn ``size(p)``/``spares(p)`` queries
+    stop rescanning every worker.
+    """
 
     __slots__ = ("owner_place", "owner_worker", "_items", "pushes", "owner_pops",
-                 "thief_takes")
+                 "thief_takes", "place", "owner")
 
-    def __init__(self, owner_place: int, owner_worker: int) -> None:
+    def __init__(self, owner_place: int, owner_worker: int,
+                 place=None, owner=None) -> None:
         self.owner_place = owner_place
         self.owner_worker = owner_worker
         self._items: deque[Task] = deque()
         self.pushes = 0
         self.owner_pops = 0
         self.thief_takes = 0
+        #: Owning :class:`~repro.runtime.place.Place` (load counters).
+        self.place = place
+        #: Owning :class:`~repro.runtime.worker.Worker` (spare bookkeeping).
+        self.owner = owner
 
     def __len__(self) -> int:
         return len(self._items)
@@ -49,23 +62,48 @@ class PrivateDeque:
     def push(self, task: Task) -> None:
         """Owner (or the mapper) adds a task at the hot end."""
         task.state = TaskState.QUEUED
-        self._items.append(task)
+        items = self._items
+        items.append(task)
         self.pushes += 1
+        place = self.place
+        if place is not None:
+            place._n_private += 1
+            if len(items) == 1:
+                owner = self.owner
+                if owner is not None and not owner._executing:
+                    place._n_spare -= 1
 
     def pop(self) -> Optional[Task]:
         """Owner takes the most recently pushed task (LIFO)."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
         self.owner_pops += 1
-        return self._items.pop()
+        task = items.pop()
+        place = self.place
+        if place is not None:
+            place._n_private -= 1
+            if not items:
+                owner = self.owner
+                if owner is not None and not owner._executing:
+                    place._n_spare += 1
+        return task
 
     def steal(self) -> Optional[Task]:
         """A co-located thief takes the oldest task (FIFO end)."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
         self.thief_takes += 1
-        task = self._items.popleft()
+        task = items.popleft()
         task.stolen_locally = True
+        place = self.place
+        if place is not None:
+            place._n_private -= 1
+            if not items:
+                owner = self.owner
+                if owner is not None and not owner._executing:
+                    place._n_spare += 1
         return task
 
     def peek_oldest(self) -> Optional[Task]:

@@ -50,6 +50,15 @@ class Place:
         self.idle_threshold: Optional[int] = None
         #: Round-robin cursor for mapping tasks onto private deques.
         self._rr_cursor = 0
+        #: O(1) load counters (Algorithm 1 runs per spawn, so ``size``/
+        #: ``spares`` must not rescan every worker).  ``_n_private`` counts
+        #: tasks across all private deques, maintained by
+        #: :class:`~repro.runtime.deques.PrivateDeque` push/pop/steal;
+        #: ``_n_spare`` counts idle workers with empty private deques,
+        #: maintained by the deque hooks plus the ``Worker.executing``
+        #: property setter.
+        self._n_private = 0
+        self._n_spare = 0
         #: Idle workers parked waiting for work to arrive at this place:
         #: a mix of one-shot :class:`~repro.sim.events.Event` waiters (the
         #: legacy API, kept for tests and tooling) and ``(ParkRecord,
@@ -65,8 +74,8 @@ class Place:
         return len(self.workers)
 
     def queued_private(self) -> int:
-        """Tasks waiting in this place's private deques."""
-        return sum(len(w.deque) for w in self.workers)
+        """Tasks waiting in this place's private deques (O(1) counter)."""
+        return self._n_private
 
     def queued_total(self) -> int:
         """All tasks queued at this place (private + shared + mailbox)."""
@@ -84,8 +93,7 @@ class Place:
         redirection should fill each idle worker once, then overflow
         flexible tasks to the shared deque.
         """
-        return sum(1 for w in self.workers
-                   if not w.executing and len(w.deque) == 0)
+        return self._n_spare
 
     def is_idle(self) -> bool:
         """No running activities — every worker is searching or stopped."""
@@ -169,10 +177,17 @@ class Place:
         worker eliminates the need for that worker to contend ... to steal
         from the local shared deque", §V-B1), falling back to round-robin.
         """
-        idle = [w for w in self.workers if not w.executing]
-        if idle:
-            # Deterministic: lowest-id idle worker with the shortest deque.
-            best = min(idle, key=lambda w: (len(w.deque), w.worker_index))
+        # Deterministic: lowest-id idle worker with the shortest deque
+        # (single ascending pass; strict < keeps the lowest index on ties).
+        best = None
+        best_len = 0
+        for w in self.workers:
+            if not w._executing:
+                n = len(w.deque._items)
+                if best is None or n < best_len:
+                    best = w
+                    best_len = n
+        if best is not None:
             return best.deque
         self._rr_cursor = (self._rr_cursor + 1) % self.n_workers
         return self.workers[self._rr_cursor].deque

@@ -84,6 +84,21 @@ class StatusBoard:
         """Whether ``place_id`` currently advertises surplus."""
         return place_id in self._surplus
 
+    def has_surplus_other(self, exclude: int) -> bool:
+        """Whether any place other than ``exclude`` advertises surplus.
+
+        O(1) in the common cases (empty board, or a board whose first
+        entry is not ``exclude``); used by the collapsed-round fast path
+        to prove the remote tier would skip every victim.
+        """
+        surplus = self._surplus
+        if not surplus:
+            return False
+        for p in surplus:
+            if p != exclude:
+                return True
+        return False
+
     def surplus_places(self, exclude: int) -> List[int]:
         """Advertising places other than ``exclude``, id-sorted."""
         return sorted(p for p in self._surplus if p != exclude)

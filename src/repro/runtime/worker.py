@@ -18,17 +18,244 @@ paper's observation that stealing itself raises measured node utilization.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cluster.cache import LruCache
 from repro.runtime.deques import PrivateDeque
 from repro.runtime.task import Task, TaskContext, TaskState
-from repro.sim.engine import CAUSE_WORK, Interrupt, ParkRecord
+from repro.sim import engine as _engine
+from repro.sim.engine import (SCAN_MISS, CAUSE_WORK, Interrupt, KernelRound,
+                              ParkRecord)
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.place import Place
     from repro.runtime.runtime import SimRuntime
+
+
+class _StealScan(KernelRound):
+    """Kernel-resident deque-pop + mailbox + co-located-steal round.
+
+    Executes the universal prefix of ``Scheduler.find_work`` (the tiers
+    every policy shares) step by step from the dispatch loop, arming one
+    heap entry per legacy ``sleep`` with the same due time and sequence
+    number and performing the same side effects in the same order — see
+    :class:`~repro.sim.engine.KernelRound` for the byte-identity
+    contract.  Resolves with the acquired task, or with ``SCAN_MISS`` so
+    the worker's generator runs the policy tail (shared deque, remote
+    steals) in ordinary yielded-event style.
+
+    Phases: 0 = the private-deque-op stall fired (pop own deque, probe
+    the mailbox, open the co-located scan); 1 = one co-located probe
+    fired (attempt the steal, advance or miss out); 2 = the
+    steal-success stall fired (settle the stolen task); 3 = a collapsed
+    round's end stall fired (idle mode: park straight from the kernel).
+
+    **Idle mode** (:meth:`attach_idle`): for a scheduler with no policy
+    tail past the co-located tier (``find_work_tail is None``), the
+    *whole* idle cycle — failed round, park, wake, next round — runs
+    kernel-resident.  A miss performs the failed-round bookkeeping and
+    parks the worker without resuming the generator; the park delivers
+    its wake cause to :meth:`on_wake`, which starts the next round (or a
+    collapsed one) in place.  The generator resumes only with a task in
+    hand, or with ``None`` once the termination gate opens.
+    """
+
+    __slots__ = ("worker", "st", "costs", "phase", "order", "idx",
+                 "peers", "task", "mailbox_get", "deque_pop",
+                 "idle", "park", "board", "gate", "fast_round",
+                 "gate_registered")
+
+    def __init__(self, env, proc, worker: "Worker") -> None:
+        super().__init__(env, proc)
+        self.worker = worker
+        rt = worker.runtime
+        self.st = rt.stats.steals
+        self.costs = rt.costs
+        self.phase = 0
+        self.order: list = []
+        self.idx = 0
+        self.peers: "list[Worker] | None" = None
+        self.task: Task | None = None
+        self.mailbox_get = worker.place.mailbox.try_get
+        self.deque_pop = worker.deque.pop
+        self.idle = False
+        self.park = None
+        self.board = None
+        self.gate = None
+        self.fast_round = None
+        self.gate_registered = False
+
+    def attach_idle(self, park, board, gate, fast_round) -> None:
+        """Enter idle mode: this scan owns the worker's park and rounds."""
+        self.idle = True
+        self.park = park
+        self.board = board
+        self.gate = gate
+        self.fast_round = fast_round
+        park.scan_owner = self
+
+    def begin(self) -> "_StealScan":
+        """Arm the round's opening deque-op stall; yield ``self`` after."""
+        self.phase = 0
+        env = self.env
+        env._seq += 1
+        env._arm[self._h] = env._seq
+        _heappush(env._queue,
+                  (env._now + self.costs.private_deque_op, env._seq, self._h))
+        return self
+
+    def step(self) -> None:
+        # _arm() is inlined in every branch: this method fires hundreds of
+        # thousands of times per cell and the extra call frame is measurable.
+        phase = self.phase
+        costs = self.costs
+        worker = self.worker
+        env = self.env
+        if phase == 1:
+            # A co-located probe fired: attempt the steal it paid for.
+            worker.overhead_cycles += costs.local_steal_attempt
+            task = self.peers[self.order[self.idx]].deque.steal()
+            if task is not None:
+                self.task = task
+                self.phase = 2
+                env._seq += 1
+                env._arm[self._h] = env._seq
+                _heappush(env._queue, (env._now + costs.local_steal_success,
+                                       env._seq, self._h))
+                return
+            idx = self.idx + 1
+            if idx < len(self.order):
+                self.idx = idx
+                self.st.local_attempts += 1
+                env._seq += 1
+                env._arm[self._h] = env._seq
+                _heappush(env._queue, (env._now + costs.local_steal_attempt,
+                                       env._seq, self._h))
+                return
+            if self.idle:
+                self._park_failed_round()
+            else:
+                self._resolve(SCAN_MISS)
+        elif phase == 0:
+            worker.overhead_cycles += costs.private_deque_op
+            task = self.deque_pop()
+            if task is None:
+                task = self.mailbox_get()
+                if task is None:
+                    peers = self.peers
+                    if peers is None:
+                        peers = worker.steal_peers
+                        if peers is None:
+                            peers = worker.steal_peers = [
+                                w for w in worker.place.workers
+                                if w is not worker]
+                        self.peers = peers
+                    rng = worker.victims_rng
+                    if rng is None:
+                        rng = worker.victims_rng = \
+                            worker.runtime.rngs.stream("victims", *worker.wid)
+                    order = rng.permutation(len(peers)).tolist()
+                    if order:
+                        self.order = order
+                        self.idx = 0
+                        self.st.local_attempts += 1
+                        self.phase = 1
+                        env._seq += 1
+                        env._arm[self._h] = env._seq
+                        _heappush(env._queue,
+                                  (env._now + costs.local_steal_attempt,
+                                   env._seq, self._h))
+                        return
+                    if self.idle:
+                        self._park_failed_round()
+                    else:
+                        self._resolve(SCAN_MISS)
+                    return
+                self.st.mailbox_hits += 1
+            self._resolve(task)
+        elif phase == 2:
+            # The steal-success stall fired; settle the task.
+            worker.overhead_cycles += costs.local_steal_success
+            self.st.local_hits += 1
+            task = self.task
+            self.task = None
+            self._resolve(task)
+        else:
+            # Phase 3 (idle mode): a collapsed round's end stall fired —
+            # the legacy generator would now run the failed-round path.
+            self._park_failed_round()
+
+    # -- kernel-resident idle loop (tail-less schedulers) ---------------------
+    def begin_idle(self) -> "_StealScan":
+        """Open a round in idle mode; yield ``self`` afterwards.
+
+        Mirrors the legacy loop top: a collapsible round (every tier
+        provably empty, heap quiescent) arms one stall at the round's end
+        — the seq the legacy ``sleep_at`` consumed — otherwise the
+        ordinary scan opens with the deque-op stall.
+        """
+        fr = self.fast_round
+        if fr is not None:
+            due = fr(self.worker)
+            if due is not None:
+                self.phase = 3
+                env = self.env
+                env._seq += 1
+                env._arm[self._h] = env._seq
+                _heappush(env._queue, (due, env._seq, self._h))
+                return self
+        return self.begin()
+
+    def _park_failed_round(self) -> None:
+        """Failed-round bookkeeping + park, in the legacy generator's order."""
+        worker = self.worker
+        place = worker.place
+        rt = worker.runtime
+        place.note_failed_steal()
+        rt.scheduler.note_failed_round(worker)
+        self.st.failed_rounds += 1
+        park = self.park
+        gate = self.gate
+        park.begin(worker._backoff, gate.is_open)
+        if not self.gate_registered:
+            gate.register_park(park)
+            self.gate_registered = True
+        place.add_park_waiter(park)
+        if self.board is not None:
+            self.board.add_park_waiter(park)
+        worker._backoff = min(worker._backoff * 2, rt.idle_backoff_cap)
+
+    def on_wake(self, cause) -> None:
+        """The park's wake hop landed: restart the round in the kernel.
+
+        Replicates the legacy resume — backoff reset on a work wake, the
+        loop-top gate check (resolving ``None`` hands the generator its
+        exit), then the next round's fast-path probe or opening stall.
+        """
+        worker = self.worker
+        if cause is CAUSE_WORK:
+            worker._backoff = worker.runtime.idle_backoff_base
+        if self.gate.is_open:
+            self._resolve(None)
+            return
+        fr = self.fast_round
+        if fr is not None:
+            due = fr(worker)
+            if due is not None:
+                self.phase = 3
+                env = self.env
+                env._seq += 1
+                env._arm[self._h] = env._seq
+                _heappush(env._queue, (due, env._seq, self._h))
+                return
+        self.phase = 0
+        env = self.env
+        env._seq += 1
+        env._arm[self._h] = env._seq
+        _heappush(env._queue,
+                  (env._now + self.costs.private_deque_op, env._seq, self._h))
 
 
 class Worker:
@@ -39,9 +266,12 @@ class Worker:
         self.runtime = runtime
         self.place = place
         self.worker_index = worker_index
-        self.deque = PrivateDeque(place.place_id, worker_index)
+        self.deque = PrivateDeque(place.place_id, worker_index,
+                                  place=place, owner=self)
         self.cache = LruCache(runtime.costs.l1_capacity_lines)
-        self.executing = False
+        self._executing = False
+        # A fresh worker is idle with an empty deque: one spare slot.
+        place._n_spare += 1
         #: Task currently in :meth:`execute`.  The fault injector reads
         #: this to find in-flight work at a crash; the runtime reads it
         #: to attribute spawn parentage for the observability layer.
@@ -70,6 +300,23 @@ class Worker:
     def reset_backoff(self) -> None:
         """Re-arm the idle backoff at the runtime's (possibly tuned) base."""
         self._backoff = self.runtime.idle_backoff_base
+
+    @property
+    def executing(self) -> bool:
+        """Whether an activity is currently running on this worker.
+
+        A property so the place's O(1) spare-worker counter stays in sync
+        no matter who flips the flag (the execute paths here, or tests
+        poking it directly).
+        """
+        return self._executing
+
+    @executing.setter
+    def executing(self, flag: bool) -> None:
+        if flag != self._executing:
+            self._executing = flag
+            if not self.deque._items:
+                self.place._n_spare += -1 if flag else 1
 
     @property
     def wid(self) -> tuple[int, int]:
@@ -115,19 +362,71 @@ class Worker:
         deque_pop = self.deque.pop
         find_work = scheduler.find_work
         deque_op = costs.private_deque_op
+        # Collapsed probe round (flat kernel only): when every steal tier
+        # is provably empty and no other heap entry comes due before the
+        # round would end, the scheduler commits the round's counters and
+        # RNG draws in one call and the kernel sleeps once to the round's
+        # end time instead of resuming this generator per probe.  Fault
+        # plans and observers watch the intermediate micro-events, so
+        # either one disables the collapse.
+        fast_round = None
+        sleep_at = None
+        if (_engine.KERNEL == "flat" and scheduler._fast_round_ok
+                and rt.faults is None and rt.obs is None):
+            fast_round = scheduler.fast_round
+            sleep_at = env.sleep_at
+        # Kernel-resident steal scan (flat kernel only): the universal
+        # find_work prefix — deque-op stall, own pop, mailbox probe,
+        # co-located scan — runs from the dispatch loop without resuming
+        # this generator per probe.  Only sound when the scheduler uses
+        # the stock find_work (an override may reorder the tiers), and
+        # fault plans / observers watch the per-probe resumes, so either
+        # one falls back to the generator path.
+        scan = None
+        find_work_tail = None
+        if (_engine.KERNEL == "flat" and rt.faults is None
+                and rt.obs is None):
+            from repro.sched.base import Scheduler as _SchedulerBase
+            if type(scheduler).find_work is _SchedulerBase.find_work:
+                scan = _StealScan(env, self.proc, self)
+                find_work_tail = scheduler.find_work_tail
         # One reusable park replaces the per-round AnyOf garbage; the
         # board a parking worker watches is fixed per policy.
         park = ParkRecord(env, self.proc)
         board = scheduler.park_board()
         gate_registered = False
+        if scan is not None and find_work_tail is None:
+            # No policy tier past the co-located scan: the whole idle
+            # cycle — round, failed-round bookkeeping, park, wake — runs
+            # kernel-resident.  The generator resumes per *task*, not per
+            # round: with a task in hand, or with None at termination.
+            scan.attach_idle(park, board, gate, fast_round)
+            while not gate.is_open:
+                if place.dead:
+                    return
+                task = yield scan.begin_idle()
+                if task is None:
+                    continue
+                self._backoff = rt.idle_backoff_base
+                yield from self.execute(task)
+            return
         while not gate.is_open:
             if place.dead:
                 return
-            yield sleep(deque_op)
-            self.overhead_cycles += deque_op
-            task = deque_pop()
-            if task is None:
-                task = yield from find_work(self)
+            if fast_round is not None and (due := fast_round(self)) is not None:
+                yield sleep_at(due)
+                task = None
+            elif scan is not None:
+                task = yield scan.begin()
+                if task is SCAN_MISS:
+                    task = None if find_work_tail is None \
+                        else (yield from find_work_tail(self))
+            else:
+                yield sleep(deque_op)
+                self.overhead_cycles += deque_op
+                task = deque_pop()
+                if task is None:
+                    task = yield from find_work(self)
             if task is not None:
                 self._backoff = rt.idle_backoff_base
                 yield from self.execute(task)

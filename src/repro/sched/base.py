@@ -190,9 +190,34 @@ class Scheduler(ABC):
             place.pick_private_deque().push(task)
 
     # -- work finding ------------------------------------------------------------
-    @abstractmethod
+    #: Policy-specific continuation of :meth:`find_work` after the
+    #: universal tiers (mailbox probe, co-located steal) have missed: a
+    #: generator method, or ``None`` when the policy has no further tiers
+    #: (X10WS).  Keeping the universal prefix in one place is what lets
+    #: the flat kernel's :class:`~repro.sim.engine.KernelRound` scan
+    #: execute it without resuming the worker's generator per probe.
+    find_work_tail = None
+
     def find_work(self, worker: "Worker") -> FindWork:
-        """Acquire a task for an idle worker, consuming simulated time."""
+        """Acquire a task for an idle worker, consuming simulated time.
+
+        Tier 0 (home mailbox) and tier 1 (co-located private-deque steal)
+        are identical across every policy; what follows a tier-1 miss is
+        the policy's :attr:`find_work_tail`.  A policy that overrides
+        ``find_work`` itself opts out of the kernel-resident scan (the
+        worker checks ``type(scheduler).find_work`` identity).
+        """
+        task = self._probe_mailbox(worker)
+        if task is not None:
+            return task
+        task = yield from self._steal_colocated(worker)
+        if task is not None:
+            return task
+        tail = self.find_work_tail
+        if tail is None:
+            return None
+        task = yield from tail(worker)
+        return task
 
     # -- shared steal tiers -------------------------------------------------------
     def _probe_mailbox(self, worker: "Worker") -> Optional[Task]:
@@ -598,6 +623,109 @@ class Scheduler(ABC):
     def _note_steal_success(self, pj: int) -> None:
         """A steal from ``pj`` succeeded: clear its strike history."""
         self._victim_strikes.pop(pj, None)
+
+    # -- collapsed failed round (flat-kernel fast path) ------------------------
+    #: Whether this policy's ``find_work`` follows the canonical tier shape
+    #: :meth:`fast_round` models — mailbox probe, co-located scan, optional
+    #: shared-deque take, board-gated remote tier.  Only the audited
+    #: built-in policies opt in; a subclass with a custom ``find_work``
+    #: keeps the legacy per-probe path unless it opts in itself.
+    _fast_round_ok: bool = False
+    #: Whether ``find_work`` includes the local shared-deque tier.
+    _fast_shared_tier: bool = True
+
+    def _fast_remote_ok(self, worker: "Worker") -> bool:
+        """Whether this round's remote tier is provably a no-op."""
+        rt = self.rt
+        if not self.distributed or rt.spec.n_places <= 1:
+            return True
+        if not self.uses_status_board:
+            # Blind policies (random victims, lifelines) send real steal
+            # traffic regardless of surplus: never collapsible.
+            return False
+        return not rt.board.has_surplus_other(worker.place.place_id)
+
+    def _fast_remote_commit(self, worker: "Worker") -> None:
+        """Replay the remote tier's RNG draws for an all-skip round."""
+        if self.distributed and self.rt.spec.n_places > 1:
+            self._random_place_order(worker)
+
+    def fast_round(self, worker: "Worker"):
+        """Collapse one provably-failed steal round into a single sleep.
+
+        Called by the worker loop (flat kernel, no faults, no observer)
+        *instead of* the deque pop + :meth:`find_work` generator.  When
+        every tier is empty and no other heap entry comes due before the
+        round would end, the legacy round is a fixed script — a known
+        sequence of sleeps, counter bumps, and RNG draws whose outcome is
+        already determined — so this method commits those side effects
+        synchronously and returns the round's end time for one
+        ``sleep_at``.  Returns ``None`` when the round might find work or
+        interleave with any other process; the caller then runs the exact
+        legacy path.
+
+        The commit must replicate *every* observable side effect in the
+        legacy order: simulated-time float adds, overhead-cycle adds,
+        steal-stat counters, the uncontended shared-lock acquire, the
+        board retract, victim-RNG draws, and the engine's seq/event
+        accounting.  The golden differential suite is the proof.
+        """
+        place = worker.place
+        if worker.deque._items or place.mailbox._items:
+            return None
+        rt = self.rt
+        env = rt.env
+        costs = rt.costs
+        peers = worker.steal_peers
+        if peers is None:
+            peers = worker.steal_peers = [
+                w for w in place.workers if w is not worker]
+        n = len(peers)
+        # The round's timeline, float-added in the legacy sleep order.
+        t = env._now + costs.private_deque_op
+        la = costs.local_steal_attempt
+        for _ in range(n):
+            t = t + la
+        shared_tier = self._fast_shared_tier
+        if shared_tier:
+            t = t + costs.shared_deque_op
+        if env.peek() <= t:
+            # Something else dispatches before the round would end (work
+            # arriving, a peer's probe, the stop event): no collapse.
+            return None
+        for p in peers:
+            if p.deque._items:
+                return None
+        if shared_tier:
+            shared = place.shared
+            if shared._items or shared.lock._locked or shared.lock._waiters:
+                return None
+        if not self._fast_remote_ok(worker):
+            return None
+        # -- commit ---------------------------------------------------------
+        rng = worker.victims_rng
+        if rng is None:
+            rng = worker.victims_rng = rt.rngs.stream("victims", *worker.wid)
+        rng.permutation(n)
+        st = rt.stats.steals
+        st.local_attempts += n
+        oc = worker.overhead_cycles + costs.private_deque_op
+        for _ in range(n):
+            oc = oc + la
+        n_seq = n + 1  # the deque-op sleep + one sleep per co-located probe
+        if shared_tier:
+            st.shared_local_attempts += 1
+            shared.lock.total_acquires += 1
+            oc = oc + costs.shared_deque_op
+            rt.board.retract(place.place_id)
+            n_seq += 2  # the uncontended lock-acquire event + the op sleep
+        worker.overhead_cycles = oc
+        self._fast_remote_commit(worker)
+        # The caller issues one sleep_at(t) — one push, one dispatch — in
+        # place of the round's n_seq entries: account for the rest here.
+        env._seq += n_seq - 1
+        env.events_processed += n_seq - 1
+        return t
 
     # -- victim orders ---------------------------------------------------------
     def _random_place_order(self, worker: "Worker") -> List[int]:

@@ -40,6 +40,8 @@ class DistWS(Scheduler):
     name = "DistWS"
     remote_chunk_size = 2
     distributed = True
+    #: Canonical tier shape: the collapsed-round fast path may model it.
+    _fast_round_ok = True
 
     def __init__(self, remote_chunk_size: int = 2,
                  shared_fifo: bool = True,
@@ -104,14 +106,16 @@ class DistWS(Scheduler):
             return base + costs.private_deque_op
         return base + costs.shared_deque_op
 
-    # -- work finding (Algorithm 1 lines 9-29) ----------------------------------
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def _fast_remote_commit(self, worker: "Worker") -> None:
+        # ``nearest`` victim order is deterministic (footnote 2's
+        # distance-sorted list): an all-skip remote tier draws no RNG.
+        if (self.distributed and self.rt.spec.n_places > 1
+                and self.victim_order != "nearest"):
+            self._random_place_order(worker)
+
+    # -- work finding (Algorithm 1 lines 9-29; tiers 0-1 live in the base
+    # find_work, this is everything after a co-located miss) --------------------
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

@@ -29,6 +29,9 @@ class DistWSNS(Scheduler):
     name = "DistWS-NS"
     remote_chunk_size = 2
     distributed = True
+    #: Canonical tier shape (always-random victim order): the base
+    #: collapsed-round commit replays the one permutation draw.
+    _fast_round_ok = True
     #: By design: any task — sensitive included — may travel.
     enforces_locality = False
 
@@ -53,13 +56,7 @@ class DistWSNS(Scheduler):
         return (costs.private_deque_op if turn % 2 == 0
                 else costs.shared_deque_op)
 
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

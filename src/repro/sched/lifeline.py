@@ -55,6 +55,10 @@ class LifelineWS(DistWS):
     remote_chunk_size = 1
     distributed = True
     #: Random phase is blind; lifelines are the repair mechanism (§X).
+    #: ``uses_status_board = False`` also means the collapsed-round fast
+    #: path (inherited via DistWS) only ever fires single-place: with
+    #: peers to rob blindly, a failed round sends real steal traffic and
+    #: registers lifelines, so ``_fast_remote_ok`` rejects it.
     uses_status_board = False
 
     def __init__(self, attempts_per_round: int = 2, **knobs) -> None:
@@ -108,13 +112,7 @@ class LifelineWS(DistWS):
             self.rt.stats.steals.remote_tasks_received += 1
 
     # -- work finding ------------------------------------------------------------
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

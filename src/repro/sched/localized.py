@@ -68,6 +68,23 @@ class LocalizedWS(DistWS):
                  <= self.steal_radius]
             for pi in range(spec.n_places)}
 
+    def _fast_remote_commit(self, worker: "Worker") -> None:
+        # A collapsed all-skip round still consumes this round's victim
+        # shuffle and advances the strike ledger exactly as find_work
+        # would have: a fallback round draws the global order and clears
+        # the strikes; a regular (missed) round draws the radius order
+        # and adds a strike.
+        if self.rt.spec.n_places <= 1:
+            return
+        wid = worker.wid
+        strikes = self._strikes.get(wid, 0)
+        if strikes >= self.radius_strikes:
+            self._random_place_order(worker)
+            self._strikes[wid] = 0
+        else:
+            self._local_order(worker)
+            self._strikes[wid] = strikes + 1
+
     def _local_order(self, worker: "Worker") -> List[int]:
         """The worker's in-radius victims, freshly shuffled."""
         wid = worker.wid
@@ -79,13 +96,7 @@ class LocalizedWS(DistWS):
         return [neighbourhood[int(i)]
                 for i in rng.permutation(len(neighbourhood))]
 
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

@@ -34,6 +34,11 @@ class MultiStealWS(DistWS):
     """DistWS variant with ``steal_width`` concurrent steal requests."""
 
     name = "MultiStealWS"
+    # Collapsed-round note: with no victim advertising surplus, the
+    # batch-build loop skips every place without yielding or drawing
+    # (the per-batch mailbox re-probe has no miss counters), so an
+    # all-skip round is observably identical to DistWS's — the inherited
+    # _fast_round_ok/_fast_remote_commit apply unchanged.
 
     def __init__(self, steal_width: int = 2, **knobs) -> None:
         super().__init__(**knobs)
@@ -46,13 +51,7 @@ class MultiStealWS(DistWS):
         """Seam for tests: one token per concurrent request round."""
         return StealToken()
 
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

@@ -30,6 +30,9 @@ class RandomWS(DistWS):
     remote_chunk_size = 1
     distributed = True
     #: Blind random victim selection — the point of the §X comparison.
+    #: As with Lifeline, this confines the inherited collapsed-round fast
+    #: path to single-place runs: a blind failed round draws victims and
+    #: pays round trips no matter what the board says.
     uses_status_board = False
 
     def __init__(self, attempts_per_round: int = 2, **knobs) -> None:
@@ -37,13 +40,7 @@ class RandomWS(DistWS):
         #: Random victims tried per failed round (lifeline papers use w=2).
         self.attempts_per_round = attempts_per_round
 
-    def find_work(self, worker: "Worker") -> FindWork:
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        if task is not None:
-            return task
+    def find_work_tail(self, worker: "Worker") -> FindWork:
         task = yield from self._steal_local_shared(worker)
         if task is not None:
             return task

@@ -26,6 +26,9 @@ class StealHalfWS(DistWS):
     """DistWS variant whose distributed steals take half the victim deque."""
 
     name = "StealHalfWS"
+    # Collapsed-round note: the chunk-size decision only exists at a
+    # successful take point, which a collapsed (provably-failed) round
+    # never reaches — DistWS's fast-path hooks are inherited unchanged.
 
     def __init__(self, shared_fifo: bool = True,
                  victim_order: str = "random",

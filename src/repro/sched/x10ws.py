@@ -26,16 +26,17 @@ class X10WS(Scheduler):
 
     name = "X10WS"
     distributed = False
+    #: Collapsed-round fast path: the shape is mailbox probe + co-located
+    #: scan only — no shared-deque tier, no remote tier.
+    _fast_round_ok = True
+    _fast_shared_tier = False
 
     def map_task(self, task: Task, from_worker=None) -> None:
         self._push_private(task, from_worker)
 
-    def find_work(self, worker: "Worker") -> FindWork:
-        # Remote asyncs still have to arrive somehow: X10 delivers the
-        # shipped activity at its destination place; the mailbox models
-        # that delivery path even though X10WS never steals through it.
-        task = self._probe_mailbox(worker)
-        if task is not None:
-            return task
-        task = yield from self._steal_colocated(worker)
-        return task
+    # Work finding is the base prefix and nothing else: mailbox probe
+    # (remote asyncs still have to arrive somehow — X10 delivers the
+    # shipped activity at its destination place, and the mailbox models
+    # that delivery path even though X10WS never steals through it) plus
+    # the co-located steal.  No shared-deque tier, no remote tier.
+    find_work_tail = None

@@ -1,4 +1,4 @@
-"""The discrete-event simulation environment.
+"""The discrete-event simulation environment (flat struct-of-arrays kernel).
 
 :class:`Environment` owns the event heap and the simulated clock.  Time is a
 float measured in *cycles* throughout the library (the cluster cost model
@@ -8,41 +8,60 @@ Determinism: events scheduled for the same timestamp are processed in the
 order they were scheduled (a monotonically increasing sequence number breaks
 ties), so a given program produces bit-identical traces across runs.
 
-Fast-path records
------------------
+Struct-of-arrays layout
+-----------------------
 
-The steady state of a work-stealing simulation is dominated by two shapes:
-``yield env.timeout(cost)`` inside a process (one fresh :class:`Timeout`
-plus a callbacks list per simulated stall) and the idle-worker park (an
-``AnyOf`` over several fresh child events per failed round).  Both now have
-allocation-free equivalents that put small *reusable records* on the heap
-instead of one-shot events:
+PR 5 made the hot paths allocation-free but still dispatched through one
+Python record object per heap entry.  This kernel flattens that state into
+parallel columns indexed by small-integer *handles*:
 
-- :meth:`Environment.sleep` re-arms the calling process's single
-  :class:`_Resume` record — the heap entry ``(due, seq, record)`` is the
-  entire timeout;
-- :class:`ParkRecord` is a per-worker cancellable park: wake sources call
-  :meth:`ParkRecord._fire`, and stale heap entries (superseded wake hops,
-  expired backoff probes) are disambiguated by sequence number instead of
-  being removed, so nothing is ever searched or unlinked.
+- the heap holds bare ``(due, seq, handle)`` triples — no record object
+  per entry; the globally unique sequence number breaks due ties, so heap
+  order is by ``(due, seq)`` exactly and ``handle`` indexes the columns;
+- ``_kind[handle]`` says how to dispatch: ``K_RESUME`` (a sleeping
+  process), ``K_EVENT`` (a scheduled :class:`~repro.sim.events.Event`),
+  ``K_HOP`` (a park wake hop) or ``K_PROBE`` (a park backoff deadline);
+- ``_arm[handle]`` holds the seq of the handle's *armed* entry (or
+  ``-1``): a popped seq that no longer matches was superseded — by an
+  interrupt, a competing wake, or handle recycling — and is skipped
+  without any object ever being touched;
+- ``_obj[handle]`` points at the owning :class:`Process`,
+  :class:`~repro.sim.events.Event` or :class:`ParkRecord`;
+- park state and wake cause live in the ``_pstate`` / ``_pcause``
+  columns indexed by the park's hop handle, not as attributes.
 
-A heap record is recognized by ``callbacks is None`` — a *pending*
-:class:`~repro.sim.events.Event` always carries a callbacks list, and
-records set ``callbacks = None`` as a class attribute.  The kernel then
-dispatches through ``record._pop(seq)``.
+The columns are plain Python lists, not ``array``/numpy buffers: every
+value a column holds is a cached small int or an object reference, so a
+list getitem (one pointer load) beats a C-array getitem (which must box
+its element on every read) on the per-event path — measured, not
+guessed; see DESIGN.md §17.
 
-The ordering contract is preserved exactly: every record transition
-consumes a sequence number at the same point the event path it replaces
-did (a fired park performs the same two-hop ``child pop → composite pop``
-dance through the heap), so simulated results are byte-identical to the
-event-object kernel.  The only deleted heap traffic is provably
-unobservable no-ops: stale waiter events whose ``succeed`` never resumed
-anyone.
+Handles are recycled through a free-list (``_free``); exhaustion grows
+every column geometrically (doubling), so steady state allocates nothing.
+Because sequence numbers are globally unique, a recycled handle can never
+fire its previous owner: any entry armed by the old owner carries a token
+the new owner's arm value can never equal.
+
+The run loop additionally *batches same-cycle dispatch*: all entries
+sharing one due time are drained under a single clock store, and
+:attr:`Environment.events_processed` counts every entry in the batch
+individually so events/sec stays comparable across kernels.
+
+The scheduler's probe-fail-park round is hoisted into
+:meth:`repro.sched.base.Scheduler.fast_round` (a vectorized victim scan
+over the flat columns); :meth:`Environment.sleep_at` is the kernel-side
+half of that contract.
+
+The PR-5 object kernel is kept verbatim in :mod:`repro.sim.engine_object`
+and selected for a whole process with ``REPRO_KERNEL=object``; the 38-cell
+golden differential and ``tools/kernel_diff.py`` prove both kernels produce
+byte-identical simulated results.  See DESIGN.md §17.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
@@ -55,33 +74,181 @@ CAUSE_WORK = "work"
 CAUSE_TIMEOUT = "timeout"
 CAUSE_BOARD = "board"
 
-#: :class:`ParkRecord` states.
+#: :class:`ParkRecord` states (values in the ``_pstate`` column).
 PARK_IDLE = 0      # not parked; any heap entries are stale
 PARK_PARKED = 1    # worker waiting; first _fire() wins
 PARK_WAKING = 2    # wake hop 1 in the heap (the child-event pop stand-in)
 PARK_RESUMING = 3  # wake hop 2 in the heap (the composite pop stand-in)
+
+#: Heap-entry kinds (values in the ``_kind`` column).
+K_FREE = 0    # recycled handle; a popped entry is stale by construction
+K_RESUME = 1  # resume a sleeping process
+K_EVENT = 2   # run a scheduled Event's callbacks
+K_HOP = 3     # park wake hop (two-hop child/composite pop stand-in)
+K_PROBE = 4   # park backoff-deadline probe
+K_SCAN = 5    # kernel-resident round step (see KernelRound)
+
+#: Cause column encoding: ``_pcause`` byte -> cause object (index 0 = None).
+_CAUSES: Tuple[Any, ...] = (None, CAUSE_DONE, CAUSE_WORK, CAUSE_TIMEOUT,
+                            CAUSE_BOARD)
+_CAUSE_INDEX = {CAUSE_DONE: 1, CAUSE_WORK: 2, CAUSE_TIMEOUT: 3,
+                CAUSE_BOARD: 4}
+
+_INITIAL_CAPACITY = 64
+
+
+class _Sleep:
+    """Singleton yielded by :meth:`Environment.sleep`.
+
+    The armed heap entry lives entirely in the columns; the generator just
+    needs *something* to yield, and a shared sentinel means the sleep path
+    allocates nothing at all.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<SLEEP>"
+
+
+_SLEEP = _Sleep()
+
+#: Returned (via ``_resolve``) by a :class:`KernelRound` whose covered
+#: tiers all came up empty: the owning generator continues with the
+#: policy-specific tail of the round in ordinary yielded-event style.
+SCAN_MISS = object()
+
+
+class KernelRound:
+    """A kernel-resident continuation for a worker's hot scheduling round.
+
+    The dominant event pattern in steal-heavy cells is a worker cycling
+    ``sleep -> probe a deque -> sleep -> probe`` many times per acquired
+    task.  Running that cycle through the generator machinery costs a
+    full resume chain (``Process._step_send`` -> nested ``yield from``
+    frames) per probe.  A ``KernelRound`` replaces the chain: the worker
+    yields the round object once, and the dispatch loop calls
+    :meth:`step` directly on each fired entry — the subclass re-arms the
+    next step or resolves the round back into the generator.
+
+    The contract with byte-identity: each armed entry consumes exactly
+    one sequence number at exactly the time the legacy generator's
+    ``sleep`` would have, and :meth:`step` performs exactly the side
+    effects the generator's resume would have performed, in the same
+    order within the same dispatch.  The round is therefore exact under
+    *any* event interleaving — unlike the collapsed
+    :meth:`~repro.sched.base.Scheduler.fast_round`, it needs no global
+    heap-quiescence guard.
+
+    Subclasses (e.g. the worker's steal scan) own the policy; this base
+    owns the handle plumbing.  The handle lives as long as its worker.
+    """
+
+    __slots__ = ("env", "proc", "_h")
+
+    def __init__(self, env: Environment, proc: "Process") -> None:
+        self.env = env
+        self.proc = proc
+        h = self._h = env._alloc()
+        env._kind[h] = K_SCAN
+        env._obj[h] = self
+
+    def _arm(self, delay: float) -> None:
+        """Push this round's next step ``delay`` cycles from now."""
+        env = self.env
+        env._seq += 1
+        env._arm[self._h] = env._seq
+        heapq.heappush(env._queue, (env._now + delay, env._seq, self._h))
+
+    def _resolve(self, value: Any) -> None:
+        """Resume the owning generator with the round's outcome."""
+        proc = self.proc
+        proc._waiting_on = None
+        proc._step_send(value)
+
+    def cancel(self) -> None:
+        """Detach (the worker was interrupted); armed entries go stale."""
+        self.env._arm[self._h] = -1
+
+    def step(self) -> None:  # pragma: no cover - subclass responsibility
+        raise NotImplementedError
 
 
 class Environment:
     """Discrete-event execution environment with a deterministic clock."""
 
     __slots__ = ("_now", "_queue", "_seq", "_active_processes", "_current",
-                 "events_processed")
+                 "events_processed", "_cap", "_kind", "_pstate", "_pcause",
+                 "_arm", "_obj", "_free")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Any]] = []
+        self._queue: List[Tuple[float, int, int]] = []
         self._seq = 0
         self._active_processes = 0
         #: The process whose generator is currently executing (resumes are
         #: never nested — every resume comes from a heap pop), consulted by
-        #: :meth:`sleep` to find the caller's resume record.
+        #: :meth:`sleep` to find the caller's handle.
         self._current: Optional["Process"] = None
-        #: Heap entries processed so far (events *and* fast records);
-        #: benchmark fodder for events/sec.
+        #: Heap entries processed so far, counting every entry of a
+        #: same-cycle batch individually; benchmark fodder for events/sec.
         self.events_processed = 0
+        cap = _INITIAL_CAPACITY
+        self._cap = cap
+        self._kind: List[int] = [K_FREE] * cap
+        self._pstate: List[int] = [PARK_IDLE] * cap
+        self._pcause: List[int] = [0] * cap
+        self._arm: List[int] = [-1] * cap
+        self._obj: List[Any] = [None] * cap
+        #: Free handles, popped from the end (so allocation order — and
+        #: therefore every heap entry — is deterministic).
+        self._free: List[int] = list(range(cap - 1, -1, -1))
 
-    # -- clock & scheduling -------------------------------------------------
+    # -- handle allocation ----------------------------------------------------
+    def _grow(self) -> None:
+        """Double every column (free-list exhaustion, geometric growth)."""
+        cap = self._cap
+        self._kind.extend([K_FREE] * cap)
+        self._pstate.extend([PARK_IDLE] * cap)
+        self._pcause.extend([0] * cap)
+        self._arm.extend([-1] * cap)
+        self._obj.extend([None] * cap)
+        self._free.extend(range(2 * cap - 1, cap - 1, -1))
+        self._cap = 2 * cap
+
+    def _alloc(self) -> int:
+        """Take a free handle (arm is ``-1``, kind is ``K_FREE``)."""
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        return free.pop()
+
+    def _release(self, handle: int) -> None:
+        """Return ``handle`` to the free-list; stale entries pop as no-ops."""
+        self._kind[handle] = K_FREE
+        self._obj[handle] = None
+        self._arm[handle] = -1
+        self._free.append(handle)
+
+    def _retire(self, proc: "Process") -> None:
+        """Release a finished process's handle.
+
+        A *dirty* handle (an interrupt left a stale sleep entry in the
+        heap) is cleared but never returned to the free-list: recycling it
+        into a ``K_PROBE`` handle would misroute the stale pop, since probe
+        entries are disambiguated by deadline bookkeeping rather than arm
+        tokens.  The leak is bounded by the number of interrupted
+        processes, which only fault plans produce at all.
+        """
+        h = proc._h
+        self._kind[h] = K_FREE
+        self._obj[h] = None
+        self._arm[h] = -1
+        if not proc._dirty:
+            self._free.append(h)
+
+    # -- clock & scheduling ---------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time in cycles."""
@@ -92,8 +259,15 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
+        free = self._free
+        if not free:
+            self._grow()
+        h = free.pop()
+        self._kind[h] = K_EVENT
+        self._obj[h] = event
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._arm[h] = self._seq
+        heapq.heappush(self._queue, (self._now + delay, self._seq, h))
 
     # -- event factories ------------------------------------------------------
     def event(self) -> Event:
@@ -104,25 +278,41 @@ class Environment:
         """Create an event triggering ``delay`` cycles in the future."""
         return Timeout(self, delay, value)
 
-    def sleep(self, delay: float) -> "_Resume":
+    def sleep(self, delay: float) -> "_Sleep":
         """Allocation-free ``timeout`` for the calling process.
 
-        Re-arms the process's reusable resume record and pushes it on the
-        heap directly — no :class:`Timeout`, no callbacks list.  Only valid
-        inside a running process (``yield env.sleep(cost)``); the record
-        carries no payload, so the yield resumes with ``None`` exactly like
-        a plain ``yield env.timeout(cost)``.
+        Arms the process's handle and pushes a bare ``(due, seq, handle)``
+        triple — no :class:`Timeout`, no callbacks list, no record object.
+        Only valid inside a running process (``yield env.sleep(cost)``); the
+        yield resumes with ``None`` exactly like ``yield env.timeout(cost)``.
         """
         if delay < 0:
             raise SimulationError(f"negative sleep delay: {delay!r}")
         proc = self._current
         if proc is None:
             raise SimulationError("sleep() called outside a process")
-        rec = proc._rec
+        h = proc._h
         self._seq += 1
-        rec._seq = self._seq
-        heapq.heappush(self._queue, (self._now + delay, self._seq, rec))
-        return rec
+        self._arm[h] = self._seq
+        heapq.heappush(self._queue, (self._now + delay, self._seq, h))
+        return _SLEEP
+
+    def sleep_at(self, due: float) -> "_Sleep":
+        """:meth:`sleep` to an *absolute* due time (kernel-internal).
+
+        Used by :meth:`repro.sched.base.Scheduler.fast_round`, which
+        pre-computes the exact float due of a collapsed probe round by
+        accumulating the per-probe costs in event order — re-deriving a
+        delay and adding it to ``now`` would perturb the low float bits.
+        """
+        proc = self._current
+        if proc is None:
+            raise SimulationError("sleep_at() called outside a process")
+        h = proc._h
+        self._seq += 1
+        self._arm[h] = self._seq
+        heapq.heappush(self._queue, (due, self._seq, h))
+        return _SLEEP
 
     def any_of(self, events: List[Event]) -> AnyOf:
         """Composite event triggering on the first of ``events``."""
@@ -134,23 +324,48 @@ class Environment:
 
     def process(self, generator: Generator[Event, Any, Any]) -> "Process":
         """Start a simulated process from ``generator``."""
-        return Process(self, generator)
+        # Via the stable alias: under REPRO_KERNEL=object the module
+        # global ``Process`` is rebound to the object kernel's class, but
+        # a flat Environment must always drive flat processes (the Flat*
+        # aliases exist precisely for in-process differential tests).
+        return FlatProcess(self, generator)
 
     # -- main loop ------------------------------------------------------------
+    def _dispatch(self, seq: int, h: int, due: float) -> None:
+        """Dispatch one popped entry (the cold, shared copy of the run loop)."""
+        k = self._kind[h]
+        if k == K_RESUME:
+            if self._arm[h] == seq:
+                self._arm[h] = -1
+                proc = self._obj[h]
+                proc._waiting_on = None
+                proc._step_send(None)
+        elif k == K_EVENT:
+            if self._arm[h] == seq:
+                event = self._obj[h]
+                self._release(h)
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+        elif k == K_SCAN:
+            if self._arm[h] == seq:
+                self._obj[h].step()
+        elif k == K_HOP:
+            if self._arm[h] == seq:
+                self._obj[h]._hop(due)
+        elif k == K_PROBE:
+            self._obj[h]._probe_pop(seq)
+        # K_FREE: a stale entry for a recycled handle — skip.
+
     def step(self) -> None:
         """Process the single next entry in the heap."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, seq, entry = heapq.heappop(self._queue)
-        self._now = when
+        due, seq, h = heapq.heappop(self._queue)
+        self._now = due
         self.events_processed += 1
-        callbacks = entry.callbacks
-        if callbacks is None:
-            entry._pop(seq)  # fast record (a pending Event always has a list)
-            return
-        entry.callbacks = None
-        for callback in callbacks:
-            callback(entry)
+        self._dispatch(seq, h, due)
 
     def run(self, until: Optional[Event | float] = None) -> Any:
         """Run the simulation.
@@ -178,28 +393,90 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError("until lies in the past")
 
-        # The hot loop below is step() inlined with the loop-invariant
-        # lookups hoisted; step() stays public for tests and debugging.
+        # The hot loop below is _dispatch() inlined with the loop-invariant
+        # column lookups hoisted (the columns are mutated in place by
+        # _grow(), never rebound, so hoisting is safe).  Entries sharing one
+        # due time drain as a batch under a single clock store: the batch is
+        # discovered opportunistically after each dispatch by one peek at
+        # the new heap head, so a singleton batch (the common case) pays a
+        # single extra compare rather than a separate scan.
         queue = self._queue
         pop = heapq.heappop
+        push = heapq.heappush
+        kind = self._kind
+        pstate = self._pstate
+        arm = self._arm
+        obj = self._obj
+        free = self._free
         processed = 0
         try:
             while queue:
                 if stop_event is not None and stop_event.callbacks is None:
+                    # Checked before the clock advances to the next batch:
+                    # an event processed at the tail of the previous batch
+                    # must stop the run at that batch's time.
                     return stop_event.value
-                if stop_time is not None and queue[0][0] > stop_time:
+                entry = pop(queue)
+                due, seq, h = entry
+                if stop_time is not None and due > stop_time:
+                    push(queue, entry)
                     self._now = stop_time
                     return None
-                when, seq, entry = pop(queue)
-                self._now = when
-                processed += 1
-                callbacks = entry.callbacks
-                if callbacks is None:
-                    entry._pop(seq)
-                else:
-                    entry.callbacks = None
-                    for callback in callbacks:
-                        callback(entry)
+                self._now = due
+                while True:
+                    k = kind[h]
+                    processed += 1
+                    if k == K_SCAN:
+                        # Tested first: steal-heavy cells arm several scan
+                        # steps per generator resume.
+                        if arm[h] == seq:
+                            obj[h].step()
+                    elif k == K_RESUME:
+                        if arm[h] == seq:
+                            arm[h] = -1
+                            proc = obj[h]
+                            proc._waiting_on = None
+                            proc._step_send(None)
+                    elif k == K_EVENT:
+                        if arm[h] == seq:
+                            event = obj[h]
+                            kind[h] = K_FREE
+                            obj[h] = None
+                            arm[h] = -1
+                            free.append(h)
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                    elif k == K_HOP:
+                        if arm[h] == seq:
+                            st = pstate[h]
+                            if st == PARK_WAKING:
+                                # Hop 2: the legacy composite's own pop.
+                                pstate[h] = PARK_RESUMING
+                                self._seq += 1
+                                arm[h] = self._seq
+                                push(queue, (due, self._seq, h))
+                            elif st == PARK_RESUMING:
+                                pstate[h] = PARK_IDLE
+                                arm[h] = -1
+                                rec = obj[h]
+                                cause = _CAUSES[self._pcause[h]]
+                                owner = rec.scan_owner
+                                if owner is not None:
+                                    owner.on_wake(cause)
+                                else:
+                                    proc = rec.process
+                                    proc._waiting_on = None
+                                    proc._step_send(cause)
+                    elif k == K_PROBE:
+                        obj[h]._probe_pop(seq)
+                    # K_FREE: stale entry for a recycled handle — skip.
+                    if not queue or queue[0][0] != due:
+                        break
+                    if stop_event is not None and stop_event.callbacks is None:
+                        return stop_event.value
+                    _d, seq, h = pop(queue)
         finally:
             self.events_processed += processed
 
@@ -226,77 +503,8 @@ class Interrupt(Exception):
         self.cause = cause
 
 
-class _Resume(object):
-    """Reusable heap record resuming one process (see :meth:`Environment.sleep`).
-
-    Exactly one per process; re-armed by storing a fresh sequence number.
-    A heap entry whose ``seq`` no longer matches :attr:`_seq` was superseded
-    (the process was interrupted and slept again) and pops as a no-op.
-    """
-
-    __slots__ = ("process", "_seq")
-
-    #: Class-level marker: ``callbacks is None`` routes the kernel to
-    #: :meth:`_pop` instead of the event-callback path.
-    callbacks = None
-
-    def __init__(self, process: "Process") -> None:
-        self.process = process
-        self._seq = -1
-
-    def _pop(self, seq: int) -> None:
-        if seq != self._seq:
-            return  # superseded by an interrupt; nothing to wake
-        self._seq = -1
-        proc = self.process
-        proc._waiting_on = None
-        proc._step_send(None)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<_Resume armed={self._seq != -1}>"
-
-
-class _ParkProbe(object):
-    """Backoff-deadline probe for one :class:`ParkRecord`.
-
-    One probe serves every park round of its worker: consecutive rounds
-    whose deadline is already *covered* by an outstanding probe entry
-    (``_dues``) push nothing, which is what keeps the heap O(workers) under
-    idle churn — the legacy kernel left one abandoned backoff ``Timeout``
-    per failed round.  A stale probe pop re-arms itself at the current
-    deadline (with the deadline's own pre-assigned sequence number, i.e.
-    exactly the heap entry the legacy ``Timeout`` would have occupied).
-    """
-
-    __slots__ = ("park",)
-
-    callbacks = None
-
-    def __init__(self, park: "ParkRecord") -> None:
-        self.park = park
-
-    def _pop(self, seq: int) -> None:
-        park = self.park
-        heapq.heappop(park._dues)
-        state = park.state
-        if seq == park._deadline_seq:
-            if state == PARK_PARKED or state == PARK_WAKING:
-                # The deadline may overtake a wake hop already in flight:
-                # the legacy backoff Timeout (scheduled at park time, hence
-                # an earlier seq) popped before the waker's child event and
-                # won the AnyOf race.
-                park._fire_timeout()
-        elif state == PARK_PARKED or state == PARK_WAKING:
-            deadline = park._deadline
-            dues = park._dues
-            if not dues or dues[0] > deadline:
-                heapq.heappush(park.env._queue,
-                               (deadline, park._deadline_seq, self))
-                heapq.heappush(dues, deadline)
-
-
 class ParkRecord(object):
-    """A worker's reusable, cancellable idle park.
+    """A worker's reusable, cancellable idle park (column-backed).
 
     Replaces the per-round ``AnyOf([gate.wait(), work_event, timeout,
     surplus_event])``: wake sources (:meth:`~repro.runtime.place.Place.
@@ -304,34 +512,55 @@ class ParkRecord(object):
     deadline) call :meth:`_fire` with a cause, and the worker's generator
     receives that cause from ``yield park``.
 
-    Waking preserves the legacy two-hop heap structure — hop 1 stands in
-    for the fired child event's pop, hop 2 for the composite's — so any
-    event scheduled between those pops keeps its relative order.  Losers
-    of a same-timestamp race are skipped by the ``state``/sequence guards
-    precisely where the legacy kernel popped their no-op ``succeed``.
+    The record owns two handles: ``_h`` (kind ``K_HOP``) indexes the park
+    state and wake cause in the environment's ``_pstate`` / ``_pcause``
+    columns and carries the two-hop wake entries, ``_hp`` (kind
+    ``K_PROBE``) carries the backoff-deadline probe.  Waking preserves the
+    legacy two-hop heap structure — hop 1 stands in for the fired child
+    event's pop, hop 2 for the composite's — so any event scheduled between
+    those pops keeps its relative order.  Losers of a same-timestamp race
+    are skipped by the state/arm guards precisely where the legacy kernel
+    popped their no-op ``succeed``.
     """
 
-    __slots__ = ("env", "process", "state", "cause", "round",
-                 "_deadline", "_deadline_seq", "_hop_seq", "_probe", "_dues")
-
-    callbacks = None
+    __slots__ = ("env", "process", "round", "scan_owner", "_h", "_hp",
+                 "_deadline", "_deadline_seq", "_dues")
 
     def __init__(self, env: Environment, process: "Process") -> None:
         self.env = env
         self.process = process
-        self.state = PARK_IDLE
-        self.cause: Any = None
+        #: When a kernel-resident idle loop owns this park (tail-less
+        #: schedulers under the flat kernel), wake causes are delivered to
+        #: ``scan_owner.on_wake(cause)`` instead of resuming the worker's
+        #: generator — the round restarts entirely inside the kernel.
+        self.scan_owner = None
         #: Monotone park-round counter; waiter-list entries carry the round
         #: they were registered for, so entries from earlier rounds are
         #: recognizably stale without being unlinked.
         self.round = 0
         self._deadline = 0.0
         self._deadline_seq = -1
-        self._hop_seq = -1
-        self._probe = _ParkProbe(self)
         #: Due times of this worker's outstanding probe heap entries
         #: (a tiny min-heap, usually length 1).
         self._dues: List[float] = []
+        h = self._h = env._alloc()
+        env._kind[h] = K_HOP
+        env._obj[h] = self
+        env._pstate[h] = PARK_IDLE
+        env._pcause[h] = 0
+        hp = self._hp = env._alloc()
+        env._kind[hp] = K_PROBE
+        env._obj[hp] = self
+
+    @property
+    def state(self) -> int:
+        """Current park state (reads the ``_pstate`` column)."""
+        return self.env._pstate[self._h]
+
+    @property
+    def cause(self) -> Any:
+        """Wake cause of the current round (reads the ``_pcause`` column)."""
+        return _CAUSES[self.env._pcause[self._h]]
 
     def begin(self, delay: float, gate_open: bool) -> "ParkRecord":
         """Arm the park for one idle round; yield ``self`` afterwards.
@@ -343,69 +572,116 @@ class ParkRecord(object):
         is pushed for it.
         """
         self.round += 1
-        self.state = PARK_PARKED
-        self.cause = None
+        env = self.env
+        h = self._h
+        env._pstate[h] = PARK_PARKED
+        env._pcause[h] = 0
         if gate_open:
             self._fire(CAUSE_DONE)
-        env = self.env
         env._seq += 1
         due = env._now + delay
         self._deadline = due
         self._deadline_seq = env._seq
         dues = self._dues
         if not dues or dues[0] > due:
-            heapq.heappush(env._queue, (due, env._seq, self._probe))
+            heapq.heappush(env._queue, (due, env._seq, self._hp))
             heapq.heappush(dues, due)
         return self
 
     def _fire(self, cause: Any) -> None:
         """A wake source signals the parked worker (first caller wins)."""
-        if self.state != PARK_PARKED:
-            return  # not parked, or a same-timestamp sibling already won
-        self.state = PARK_WAKING
-        self.cause = cause
         env = self.env
+        h = self._h
+        if env._pstate[h] != PARK_PARKED:
+            return  # not parked, or a same-timestamp sibling already won
+        env._pstate[h] = PARK_WAKING
+        env._pcause[h] = _CAUSE_INDEX[cause]
         env._seq += 1
-        self._hop_seq = env._seq
-        heapq.heappush(env._queue, (env._now, env._seq, self))
+        env._arm[h] = env._seq
+        heapq.heappush(env._queue, (env._now, env._seq, h))
 
     def _fire_timeout(self) -> None:
         """The backoff deadline fires (may override a pending wake hop)."""
-        self.cause = CAUSE_TIMEOUT
-        self.state = PARK_RESUMING
         env = self.env
+        h = self._h
+        env._pstate[h] = PARK_RESUMING
+        env._pcause[h] = 3  # CAUSE_TIMEOUT
         env._seq += 1
-        self._hop_seq = env._seq
-        heapq.heappush(env._queue, (env._now, env._seq, self))
+        env._arm[h] = env._seq
+        heapq.heappush(env._queue, (env._now, env._seq, h))
 
     def cancel(self) -> None:
         """Detach from the current round (the worker was interrupted)."""
-        self.state = PARK_IDLE
-        self.cause = None
-        self._hop_seq = -1
+        env = self.env
+        h = self._h
+        env._pstate[h] = PARK_IDLE
+        env._pcause[h] = 0
+        env._arm[h] = -1
 
-    def _pop(self, seq: int) -> None:
-        if seq != self._hop_seq:
-            return  # a superseding wake re-armed the record
-        state = self.state
-        if state == PARK_WAKING:
-            # Hop 2: the stand-in for the legacy composite's own pop.
-            self.state = PARK_RESUMING
-            env = self.env
+    # -- kernel callbacks -----------------------------------------------------
+    def _hop(self, due: float) -> None:
+        """An armed wake-hop entry popped (cold path; run() inlines this)."""
+        env = self.env
+        h = self._h
+        st = env._pstate[h]
+        if st == PARK_WAKING:
+            env._pstate[h] = PARK_RESUMING
             env._seq += 1
-            self._hop_seq = env._seq
-            heapq.heappush(env._queue, (env._now, env._seq, self))
-        elif state == PARK_RESUMING:
-            self.state = PARK_IDLE
-            self._hop_seq = -1
-            proc = self.process
-            proc._waiting_on = None
-            proc._step_send(self.cause)
+            env._arm[h] = env._seq
+            heapq.heappush(env._queue, (due, env._seq, h))
+        elif st == PARK_RESUMING:
+            env._pstate[h] = PARK_IDLE
+            env._arm[h] = -1
+            cause = _CAUSES[env._pcause[h]]
+            owner = self.scan_owner
+            if owner is not None:
+                owner.on_wake(cause)
+            else:
+                proc = self.process
+                proc._waiting_on = None
+                proc._step_send(cause)
+
+    def _probe_pop(self, seq: int) -> None:
+        """A probe entry popped: fire the deadline or re-arm a stale probe.
+
+        One probe serves every park round of its worker: consecutive rounds
+        whose deadline is already *covered* by an outstanding probe entry
+        (``_dues``) push nothing, which is what keeps the heap O(workers)
+        under idle churn.  A stale probe pop re-arms itself at the current
+        deadline with the deadline's own pre-assigned sequence number, i.e.
+        exactly the heap entry the legacy backoff ``Timeout`` would have
+        occupied.
+        """
+        env = self.env
+        heapq.heappop(self._dues)
+        state = env._pstate[self._h]
+        if seq == self._deadline_seq:
+            if state == PARK_PARKED or state == PARK_WAKING:
+                # The deadline may overtake a wake hop already in flight:
+                # the legacy backoff Timeout (scheduled at park time, hence
+                # an earlier seq) popped before the waker's child event and
+                # won the AnyOf race.
+                self._fire_timeout()
+        elif state == PARK_PARKED or state == PARK_WAKING:
+            deadline = self._deadline
+            dues = self._dues
+            if not dues or dues[0] > deadline:
+                heapq.heappush(env._queue,
+                               (deadline, self._deadline_seq, self._hp))
+                heapq.heappush(dues, deadline)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = {PARK_IDLE: "idle", PARK_PARKED: "parked",
                  PARK_WAKING: "waking", PARK_RESUMING: "resuming"}
         return f"<ParkRecord {names[self.state]} round={self.round}>"
+
+
+#: Kernel-armed wait targets a flat process may yield.  Captured before
+#: the REPRO_KERNEL rebind at module bottom: flat Process internals must
+#: type-check against the *flat* classes even when the public names are
+#: rebound to the object kernel (the Flat* aliases stay fully usable for
+#: in-process differential tests).
+_KERNEL_WAITS = (ParkRecord, KernelRound)
 
 
 class Process(Event):
@@ -414,26 +690,39 @@ class Process(Event):
     A Process is itself an :class:`Event` that triggers when the generator
     returns (payload: the return value) or raises (failure).  This allows
     processes to wait for each other by yielding a Process.
+
+    Each process owns one ``K_RESUME`` handle for its entire lifetime: the
+    bootstrap entry, every :meth:`Environment.sleep`, and interrupt
+    disarming all go through ``_arm[_h]``.  The handle is released when the
+    generator finishes, so short-lived processes (e.g. MultiStealWS's
+    concurrent take probes) recycle a small pool of handles instead of
+    growing the columns.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_rec", "_resume_cb")
+    __slots__ = ("generator", "_waiting_on", "_resume_cb", "_h", "_dirty")
 
-    def __init__(self, env: Environment, generator: Generator[Event, Any, Any]) -> None:
+    def __init__(self, env: Environment,
+                 generator: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
         if not hasattr(generator, "send"):
             raise SimulationError("process() requires a generator")
         self.generator = generator
-        #: Reusable :meth:`Environment.sleep` record (doubles as the
-        #: bootstrap: the first pop starts the generator).
-        self._rec = _Resume(self)
+        #: Set when an interrupt disarms a pending sleep entry: the stale
+        #: entry still sits in the heap, so the handle must be *retired*
+        #: (never recycled) at process exit — K_PROBE entries carry no arm
+        #: token, so a recycled dirty handle could misroute the stale pop.
+        self._dirty = False
         #: The bound resume method, allocated once instead of per event.
         self._resume_cb = self._resume
+        h = self._h = env._alloc()
+        env._kind[h] = K_RESUME
+        env._obj[h] = self
         env._active_processes += 1
         # Kick off the process at the current simulated time.
         env._seq += 1
-        self._rec._seq = env._seq
-        heapq.heappush(env._queue, (env._now, env._seq, self._rec))
-        self._waiting_on: Any = self._rec
+        env._arm[h] = env._seq
+        heapq.heappush(env._queue, (env._now, env._seq, h))
+        self._waiting_on: Any = _SLEEP
 
     @property
     def is_alive(self) -> bool:
@@ -446,9 +735,11 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         target = self._waiting_on
         if target is not None:
-            if target is self._rec:
-                target._seq = -1  # the pending sleep entry pops as a no-op
-            elif isinstance(target, ParkRecord):
+            if target is _SLEEP:
+                # The pending sleep entry pops as a no-op.
+                self.env._arm[self._h] = -1
+                self._dirty = True
+            elif isinstance(target, _KERNEL_WAITS):
                 target.cancel()
             elif not target.processed:
                 # Stop the pending resume; deliver the interrupt instead.
@@ -487,6 +778,7 @@ class Process(Event):
         except StopIteration as stop:
             env._current = None
             env._active_processes -= 1
+            env._retire(self)
             self.succeed(stop.value)
             return
         except (KeyboardInterrupt, SystemExit):
@@ -498,6 +790,7 @@ class Process(Event):
         except BaseException as exc:
             env._current = None
             env._active_processes -= 1
+            env._retire(self)
             self.fail(exc)
             return
         env._current = None
@@ -512,6 +805,7 @@ class Process(Event):
         except StopIteration as stop:
             env._current = None
             env._active_processes -= 1
+            env._retire(self)
             self.succeed(stop.value)
             return
         except (KeyboardInterrupt, SystemExit):
@@ -520,6 +814,7 @@ class Process(Event):
         except BaseException as raised:
             env._current = None
             env._active_processes -= 1
+            env._retire(self)
             self.fail(raised)
             return
         env._current = None
@@ -527,21 +822,53 @@ class Process(Event):
 
     def _handle(self, target: Any) -> None:
         """Wait on whatever the generator yielded."""
-        if target is self._rec:
-            self._waiting_on = target  # armed by env.sleep()
+        if target is _SLEEP:
+            self._waiting_on = target  # armed by env.sleep()/sleep_at()
             return
         if isinstance(target, Event):
             if target.callbacks is None:
                 self.env._active_processes -= 1
+                self.env._retire(self)
                 self.fail(SimulationError(
                     "process yielded an already-processed event"))
                 return
             self._waiting_on = target
             target.callbacks.append(self._resume_cb)
             return
-        if isinstance(target, ParkRecord):
-            self._waiting_on = target  # armed by ParkRecord.begin()
+        if isinstance(target, _KERNEL_WAITS):
+            self._waiting_on = target  # armed by the record's begin()
             return
         self.env._active_processes -= 1
+        self.env._retire(self)
         self.fail(SimulationError(
             f"process yielded {target!r}; processes must yield Events"))
+
+
+#: Which kernel this module exposes: ``"flat"`` (this file) or ``"object"``
+#: (the PR-5 kernel from :mod:`repro.sim.engine_object`).  The scheduler's
+#: collapsed probe round keys off this flag.
+KERNEL = "flat"
+
+#: The flat classes stay importable under stable aliases even when the
+#: public names below are rebound to the object kernel — in-process
+#: differential tests drive both kernels side by side through these.
+FlatEnvironment = Environment
+FlatProcess = Process
+FlatParkRecord = ParkRecord
+
+_requested = os.environ.get("REPRO_KERNEL", "flat").strip().lower() or "flat"
+if _requested in ("object", "legacy"):
+    from repro.sim import engine_object as _object_kernel
+
+    KERNEL = "object"
+    Environment = _object_kernel.Environment  # type: ignore[misc]
+    Process = _object_kernel.Process  # type: ignore[misc]
+    ParkRecord = _object_kernel.ParkRecord  # type: ignore[misc]
+    Interrupt = _object_kernel.Interrupt  # type: ignore[misc]
+    CAUSE_DONE = _object_kernel.CAUSE_DONE
+    CAUSE_WORK = _object_kernel.CAUSE_WORK
+    CAUSE_TIMEOUT = _object_kernel.CAUSE_TIMEOUT
+    CAUSE_BOARD = _object_kernel.CAUSE_BOARD
+elif _requested != "flat":
+    raise SimulationError(
+        f"unknown REPRO_KERNEL={_requested!r}; expected 'flat' or 'object'")

@@ -1,0 +1,312 @@
+"""Handle lifecycle and cross-kernel equivalence for the flat kernel.
+
+The struct-of-arrays kernel keys every schedulable entity — process
+resumes, events, park hops, backoff probes, kernel-resident steal scans —
+by a small-integer handle recycled through a free-list.  These tests pin
+the lifecycle invariants:
+
+- free-list exhaustion grows every column geometrically (never a cap);
+- a finished process's handle is recycled LIFO, but a *dirty* handle
+  (an interrupt left a stale armed entry in the heap) is retired forever
+  — a stale pop must never fire a handle's new owner;
+- arbitrary arm/cancel/fire interleavings (hypothesis-driven) produce
+  the same timeline, causes, and ``events_processed`` accounting as the
+  object kernel in :mod:`repro.sim.engine_object`;
+- full simulations agree between kernels byte for byte, *including*
+  ``events_processed`` — the flat kernel's batched same-cycle dispatch
+  counts every dispatched entry exactly as the one-pop-per-iteration
+  legacy loop does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import engine_object
+from repro.sim.engine import (FlatEnvironment, FlatParkRecord, Interrupt,
+                              _INITIAL_CAPACITY)
+from repro.sim import engine as flat_engine
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+# -- free-list growth --------------------------------------------------------
+
+def test_free_list_exhaustion_grows_geometrically():
+    env = FlatEnvironment()
+    assert env._cap == _INITIAL_CAPACITY
+
+    def sleeper():
+        yield env.sleep(1.0)
+
+    procs = [env.process(sleeper()) for _ in range(3 * _INITIAL_CAPACITY)]
+    # 192 handles force two doublings: 64 -> 128 -> 256.
+    assert env._cap == 4 * _INITIAL_CAPACITY
+    for col in (env._kind, env._pstate, env._pcause, env._arm, env._obj):
+        assert len(col) == env._cap
+    env.run()
+    assert all(p.triggered for p in procs)
+    # Every handle returned: no leak, no double-free.
+    assert len(env._free) == env._cap
+    assert sorted(env._free) == list(range(env._cap))
+
+
+def test_growth_keeps_armed_entries_valid():
+    """Entries armed before a growth fire correctly after it."""
+    env = FlatEnvironment()
+    fired = []
+
+    def early():
+        yield env.sleep(5.0)
+        fired.append(env.now)
+
+    env.process(early())
+
+    def burst():
+        yield env.sleep(1.0)
+
+    for _ in range(2 * _INITIAL_CAPACITY):  # force _grow() mid-flight
+        env.process(burst())
+    env.run()
+    assert fired == [5.0]
+
+
+# -- handle recycling --------------------------------------------------------
+
+def test_finished_process_handle_recycled_lifo():
+    env = FlatEnvironment()
+
+    def quick():
+        yield env.sleep(1.0)
+
+    p1 = env.process(quick())
+    h1 = p1._h
+    env.run()
+    p2 = env.process(quick())
+    assert p2._h == h1
+    env.run()
+    assert p2.triggered
+
+
+def test_stale_entry_never_fires_old_or_new_owner():
+    """An interrupt strands an armed sleep entry; it must pop as a no-op.
+
+    The interrupted process's handle is *dirty*: recycling it could route
+    the stale pop at t=100 to an unrelated new owner, so it is retired
+    (cleared, never returned to the free-list).
+    """
+    env = FlatEnvironment()
+    log = []
+
+    def victim_body():
+        try:
+            yield env.sleep(100.0)
+            log.append("old-owner-resumed")  # must never happen
+        except Interrupt:
+            log.append("interrupted")
+
+    victim = env.process(victim_body())
+
+    def script():
+        yield env.timeout(10.0)
+        victim.interrupt("test")
+
+    env.process(script())
+    env.run()
+    assert log == ["interrupted"]
+    assert victim._dirty
+    assert victim._h not in env._free
+    # The stale entry drained as a no-op and advanced the clock.
+    assert env.now == 100.0
+    resumed = []
+
+    def fresh():
+        yield env.sleep(1.0)
+        resumed.append(env.now)
+
+    p2 = env.process(fresh())
+    assert p2._h != victim._h
+    env.run()
+    assert resumed == [101.0]
+    assert log == ["interrupted"]
+
+
+def test_clean_interrupt_of_parked_process_recycles_handle():
+    """A park cancel disarms in place: the handle stays clean."""
+    env = FlatEnvironment()
+
+    def parker():
+        proc = env._current
+        park = FlatParkRecord(env, proc)
+        try:
+            park.begin(50.0, False)
+            yield park
+        except Interrupt:
+            return
+
+    p = env.process(parker())
+
+    def script():
+        yield env.timeout(5.0)
+        p.interrupt("shutdown")
+
+    env.process(script())
+    env.run()
+    assert p.triggered
+    assert not p._dirty
+    assert p._h in env._free
+
+
+# -- hypothesis: interleavings match the object kernel -----------------------
+
+def _cause_label(mod, cause):
+    for name in ("CAUSE_DONE", "CAUSE_WORK", "CAUSE_TIMEOUT", "CAUSE_BOARD"):
+        if cause is getattr(mod, name):
+            return name
+    return repr(cause)
+
+
+def _park_trace(mod, ops):
+    """One parker vs a scripted waker; returns the full wake timeline."""
+    env = mod.Environment()
+    trace = []
+    park_box = []
+
+    def parker():
+        proc = env._current if hasattr(env, "_current") else None
+        park = mod.ParkRecord(env, proc if proc is not None else env._current)
+        park_box.append(park)
+        for backoff in (3.0, 5.0, 7.0) * (len(ops) + 1):
+            park.begin(backoff, False)
+            cause = yield park
+            trace.append((env.now, _cause_label(mod, cause)))
+
+    def waker():
+        for dt, act in ops:
+            yield env.timeout(float(dt))
+            park = park_box[0]
+            if act == 0:
+                park._fire(mod.CAUSE_WORK)
+            elif act == 1:
+                park._fire(mod.CAUSE_BOARD)
+            # act == 2: let the backoff deadline win this window.
+
+    env.process(parker())
+    env.process(waker())
+    env.run(until=float(sum(dt for dt, _ in ops) + 40))
+    return trace, env.events_processed, env.now
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 2)),
+                min_size=1, max_size=20))
+def test_park_interleavings_match_object_kernel(ops):
+    """Same wakes, same causes, same event accounting, any interleaving.
+
+    ``dt=0`` steps make wake sources race the backoff deadline at one
+    timestamp — exactly the races the arm/seq guards must resolve the
+    way the legacy kernel's AnyOf pop order did.
+    """
+    flat = _park_trace(flat_engine, ops)
+    legacy = _park_trace(engine_object, ops)
+    assert flat == legacy
+
+
+def _interrupt_trace(mod, plan):
+    """Sleepers interrupted at scripted times; timeline + accounting."""
+    env = mod.Environment()
+    trace = []
+
+    def sleeper(idx, dur):
+        try:
+            yield env.timeout(0.0)
+            yield env.sleep(float(dur))
+            trace.append(("slept", idx, env.now))
+        except mod.Interrupt:
+            trace.append(("interrupted", idx, env.now))
+
+    procs = [env.process(sleeper(i, dur)) for i, (dur, _) in enumerate(plan)]
+
+    def cutter(i, at):
+        yield env.timeout(float(at))
+        if procs[i].is_alive:
+            procs[i].interrupt("cut")
+
+    for i, (_, cut) in enumerate(plan):
+        if cut is not None:
+            env.process(cutter(i, cut))
+    env.run()
+    trace.sort()
+    return trace, env.events_processed, env.now
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.lists(
+    st.tuples(st.integers(1, 12),
+              st.one_of(st.none(), st.integers(0, 12))),
+    min_size=1, max_size=12))
+def test_sleep_interrupt_interleavings_match_object_kernel(plan):
+    """Arm/cancel/fire races on plain sleeps agree across kernels.
+
+    ``cut == dur`` makes the interrupt land exactly when the sleep would
+    fire; ``cut > dur`` interrupts a process that already moved on.
+    """
+    flat = _interrupt_trace(flat_engine, plan)
+    legacy = _interrupt_trace(engine_object, plan)
+    assert flat == legacy
+
+
+# -- cross-kernel full-simulation identity (batched-dispatch accounting) -----
+
+_CELL_SNIPPET = """\
+import json
+from repro.cluster.topology import ClusterSpec
+from repro.runtime.runtime import SimRuntime
+from repro.runtime.task import _reset_task_ids
+from repro.sched import make_scheduler
+from repro.apps import make_app
+_reset_task_ids()
+spec = ClusterSpec(n_places=4, workers_per_place=2, max_threads=6)
+rt = SimRuntime(spec, make_scheduler({sched!r}), seed=1)
+app = make_app({app!r}, scale="test", seed=12345)
+stats = app.run(rt, validate=False)
+print(json.dumps({{"events_processed": rt.env.events_processed,
+                   "snapshot": stats.snapshot()}}, sort_keys=True))
+"""
+
+
+def _run_cell_subprocess(app: str, sched: str, kernel: str) -> str:
+    env = dict(os.environ)
+    env["REPRO_KERNEL"] = kernel
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _CELL_SNIPPET.format(app=app, sched=sched)],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+@pytest.mark.parametrize("app,sched", [
+    ("uts", "DistWS"),     # scan + policy tail (shared deque, remote tier)
+    ("uts", "X10WS"),      # kernel-resident idle loop (no policy tail)
+    ("turing", "X10WS"),   # barrier phases: heavy park/wake churn
+])
+def test_full_run_identical_across_kernels_including_event_count(app, sched):
+    """Snapshots AND ``events_processed`` agree byte for byte.
+
+    The flat kernel's batch drain and collapsed rounds must count every
+    logical dispatch — a diverging event count means an entry was
+    skipped or double-counted even if the physics happen to match.
+    """
+    flat = _run_cell_subprocess(app, sched, "flat")
+    legacy = _run_cell_subprocess(app, sched, "object")
+    assert json.loads(flat)["events_processed"] > 0
+    assert flat == legacy

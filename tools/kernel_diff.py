@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Dual-kernel differential: flat vs object kernel on the quick grid.
+
+Runs every quick-grid cell twice — once per kernel, each in a fresh
+subprocess so the ``REPRO_KERNEL`` import-time switch takes effect — and
+byte-compares the deterministic outputs: simulated observables
+(makespan, tasks executed, steal counts) and ``events_processed``.  Any
+divergence is a kernel correctness bug by definition: the flat kernel's
+contract is that batched same-cycle dispatch, handle recycling, and the
+kernel-resident steal scan change *nothing* observable.
+
+Usage:
+    python tools/kernel_diff.py            # quick grid
+    python tools/kernel_diff.py --full     # full benchmark grid (slow)
+
+Exits non-zero on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.harness import bench  # noqa: E402
+
+_SNIPPET = """\
+import json, sys
+from repro.harness import bench
+cell = json.loads(sys.argv[1])
+row = bench.run_cell(cell, repeats=1)
+print(json.dumps({"cell": row["cell"],
+                  "simulated": row["simulated"],
+                  "events_processed": row.get("events_processed")},
+                 sort_keys=True))
+"""
+
+
+def run_cell_under(cell: dict, kernel: str) -> str:
+    env = dict(os.environ)
+    env["REPRO_KERNEL"] = kernel
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _SNIPPET, json.dumps(cell)],
+        env=env, capture_output=True, text=True, timeout=1800)
+    if out.returncode != 0:
+        raise SystemExit(
+            f"cell {bench.cell_key(cell)} crashed under "
+            f"REPRO_KERNEL={kernel}:\n{out.stderr}")
+    return out.stdout.strip()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="diff the full benchmark grid, not just the "
+                             "quick cells")
+    args = parser.parse_args(argv)
+
+    cells = (bench.DEFAULT_GRID + bench.QUICK_GRID) if args.full \
+        else bench.QUICK_GRID
+    failures = 0
+    for cell in cells:
+        key = bench.cell_key(cell)
+        flat = run_cell_under(cell, "flat")
+        legacy = run_cell_under(cell, "object")
+        if flat == legacy:
+            events = json.loads(flat)["events_processed"]
+            print(f"  OK   {key}: {events} events, identical")
+        else:
+            failures += 1
+            print(f"  FAIL {key}:\n    flat:   {flat}\n    object: {legacy}")
+    if failures:
+        print(f"\n{failures} cell(s) diverged between kernels")
+        return 1
+    print(f"\nall {len(cells)} cells byte-identical across kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
